@@ -1,0 +1,46 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md §4).  Benchmarks run the experiment once under
+pytest-benchmark timing and print the same rows/series the paper
+reports, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction script.  EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic randomness for reproducible benchmarks."""
+    return np.random.default_rng(12345)
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render a small fixed-width table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def print_series(title: str, x_label: str, xs: list, series: dict) -> None:
+    """Print aligned columns: x plus one column per named series."""
+    headers = [x_label] + list(series)
+    rows = [[x] + [f"{series[name][i]:.1f}" for name in series] for i, x in enumerate(xs)]
+    print_table(title, headers, rows)
+
+
+@pytest.fixture
+def table_printer():
+    return print_table
+
+
+@pytest.fixture
+def series_printer():
+    return print_series

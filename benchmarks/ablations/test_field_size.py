@@ -1,0 +1,72 @@
+"""Ablation — Galois field size (the paper's GF(2^8) choice).
+
+The paper follows [2], [19] and codes over GF(2^8), "observed to enable
+the maximum throughput among all field sizes".  The trade: smaller
+fields compute faster per byte but suffer more linear dependency
+(wasted packets); larger fields essentially never waste a packet but
+cost more per operation.  We measure both sides: dependency rate of
+dense RLNC at GF(2^4) vs GF(2^8), and the coding kernel's speed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.gf import GF16, GF256
+from repro.rlnc import Decoder, Encoder, Generation
+
+
+def _dependency_rate(field, k=4, trials=400, seed=3):
+    """Fraction of extra packets needed beyond k, over many generations."""
+    rng = np.random.default_rng(seed)
+    extra_total = 0
+    for t in range(trials):
+        gen = Generation(t, rng.integers(0, field.order, (k, 8)).astype(np.uint8))
+        enc = Encoder(1, gen, field=field, systematic=False, rng=rng)
+        dec = Decoder(1, t, k, 8, field=field)
+        sent = 0
+        while not dec.complete:
+            dec.add(enc.next_packet())
+            sent += 1
+        extra_total += sent - k
+    return extra_total / (trials * k)
+
+
+def _kernel_rate_mbps(field, seconds=0.4, k=4, block_bytes=1460, seed=0):
+    rng = np.random.default_rng(seed)
+    blocks = field.random_elements(rng, (k, block_bytes))
+    coeffs = field.random_nonzero(rng, k)
+    end = time.perf_counter() + seconds
+    done = 0
+    while time.perf_counter() < end:
+        field.linear_combination(coeffs, blocks)
+        done += 1
+    return done * block_bytes * 8 / seconds / 1e6
+
+
+def _run():
+    return {
+        "dependency": {"GF(2^4)": _dependency_rate(GF16), "GF(2^8)": _dependency_rate(GF256)},
+        "kernel_mbps": {"GF(2^4)": _kernel_rate_mbps(GF16), "GF(2^8)": _kernel_rate_mbps(GF256)},
+    }
+
+
+@pytest.mark.benchmark(group="ablation-field")
+def test_field_size_tradeoff(benchmark, table_printer):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_printer(
+        "Ablation: field size",
+        ["field", "wasted packets / useful", "encode kernel (Mbps)"],
+        [
+            [name, f"{r['dependency'][name]:.4f}", f"{r['kernel_mbps'][name]:.0f}"]
+            for name in ("GF(2^4)", "GF(2^8)")
+        ],
+    )
+    # GF(2^8)'s dependency overhead is negligible (<0.5%); GF(2^4) wastes
+    # an order of magnitude more — the paper's rationale.
+    assert r["dependency"]["GF(2^8)"] < 0.005
+    assert r["dependency"]["GF(2^4)"] > 5 * r["dependency"]["GF(2^8)"]
+    # And the byte-level kernels run at comparable speed (table-driven),
+    # so the bigger field costs nothing here.
+    assert r["kernel_mbps"]["GF(2^8)"] > 0.3 * r["kernel_mbps"]["GF(2^4)"]

@@ -1,0 +1,94 @@
+"""Ablation — pipelined recoding vs store-and-recode relays.
+
+The paper's VNF "processes received packets in a pipelined fashion":
+it emits a fresh combination on every arrival rather than waiting for
+the whole generation.  We approximate the non-pipelined alternative
+with an output shape that skips the first k−1 arrivals (the relay only
+speaks once it has essentially the full generation) and compare the
+end-to-end latency of a generation across a relay chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.file_transfer import NcReceiverApp, NcSourceApp
+from repro.core.forwarding import ForwardingTable
+from repro.core.session import CodingConfig, MulticastSession
+from repro.core.vnf import CodingVnf, VnfRole
+from repro.net import LinkSpec, Topology
+
+
+def _generation_latency(pipelined: bool, hops: int = 3, seed: int = 9) -> float:
+    rng = np.random.default_rng(seed)
+    topo = Topology(rng=rng)
+    names = ["src"] + [f"r{i}" for i in range(hops)] + ["dst"]
+    topo.add_node("src")
+    session = MulticastSession(source="src", receivers=["dst"], coding=CodingConfig())
+    k = session.coding.blocks_per_generation
+    relays = []
+    for i in range(hops):
+        vnf = CodingVnf(f"r{i}", topo.scheduler, rng=rng, payload_mode="coefficients-only")
+        topo.add_node(vnf)
+        vnf.configure_session(session.session_id, VnfRole.RECODER, session.coding)
+        relays.append(vnf)
+    topo.add_node("dst")
+    for a, b in zip(names, names[1:]):
+        topo.add_link(LinkSpec(a, b, 50.0, 15.0))
+    for vnf, nxt in zip(relays, names[2:]):
+        vnf.forwarding_table = ForwardingTable({session.session_id: [nxt]})
+        if not pipelined:
+            # Store-and-recode: say nothing until the generation is
+            # (almost) fully buffered, then emit per remaining arrival.
+            vnf.set_hop_shape(session.session_id, nxt, skip_arrivals=k - 1)
+
+    receiver = NcReceiverApp(topo.get("dst"), session, payload_mode="coefficients-only")
+    source = NcSourceApp(
+        topo.get("src"),
+        session,
+        link_shares={names[1]: 10.0},
+        data_rate_mbps=10.0,
+        payload_mode="coefficients-only",
+        rng=rng,
+        total_generations=1,
+    )
+    if not pipelined:
+        # Non-pipelined relays swallow k-1 packets per hop; give the
+        # source enough budget that the last hop still sees k packets.
+        source.total_generations = 1
+        source.session.coding  # (single generation; repair path unused)
+
+        # Send extra coded packets to compensate the swallowed ones.
+        def _send_extras():
+            from repro.rlnc.encoder import Encoder
+
+            gen = source._cache[0]
+            enc = Encoder(session.session_id, gen, systematic=False, rng=rng)
+            for _ in range(hops * (k - 1)):
+                source._send(names[1], enc.next_packet())
+
+        topo.scheduler.schedule(0.01, _send_extras)
+    source.start()
+    topo.run(until=5.0)
+    if 0 not in receiver.completed:
+        raise RuntimeError("generation did not decode")
+    return receiver.completed[0]
+
+
+def _run():
+    return {
+        "pipelined_ms": _generation_latency(True) * 1e3,
+        "store_recode_ms": _generation_latency(False) * 1e3,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-pipelining")
+def test_pipelined_vs_store_recode(benchmark, table_printer):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_printer(
+        "Ablation: relay pipelining (3-hop chain, one generation)",
+        ["relay mode", "generation decode latency (ms)"],
+        [["pipelined (paper)", f"{r['pipelined_ms']:.1f}"], ["store-and-recode", f"{r['store_recode_ms']:.1f}"]],
+    )
+    # Pipelining is the clear latency winner: each hop adds only its
+    # propagation, not a full generation's accumulation.
+    assert r["pipelined_ms"] < r["store_recode_ms"]

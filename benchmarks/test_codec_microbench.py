@@ -1,0 +1,63 @@
+"""Microbenchmarks of the coding substrate (not a paper figure).
+
+Measures the raw GF(2^8) kernel and the RLNC encode/decode pipeline at
+the paper's parameters (1460-byte blocks, 4 blocks per generation), the
+per-packet costs that justify the paper's C(v) coding-capacity model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF256
+from repro.rlnc import Decoder, Encoder, Generation
+
+
+@pytest.fixture
+def generation(rng):
+    return Generation(0, rng.integers(0, 256, (4, 1460), dtype=np.uint8))
+
+
+@pytest.mark.benchmark(group="codec")
+def test_gf_linear_combination(benchmark, rng):
+    blocks = GF256.random_elements(rng, (4, 1460))
+    coeffs = GF256.random_nonzero(rng, 4)
+    result = benchmark(GF256.linear_combination, coeffs, blocks)
+    assert result.shape == (1460,)
+
+
+@pytest.mark.benchmark(group="codec")
+def test_encode_packet(benchmark, rng, generation):
+    encoder = Encoder(1, generation, systematic=False, rng=rng)
+    packet = benchmark(encoder._coded_packet)
+    assert packet.payload.shape == (1460,)
+
+
+@pytest.mark.benchmark(group="codec")
+def test_decode_generation(benchmark, rng, generation):
+    encoder = Encoder(1, generation, systematic=False, rng=rng)
+    packets = [encoder.next_packet() for _ in range(6)]
+
+    def _decode():
+        decoder = Decoder(1, 0, 4, 1460)
+        for p in packets:
+            if decoder.complete:
+                break
+            decoder.add(p)
+        return decoder.decode()
+
+    decoded = benchmark(_decode)
+    assert decoded == generation
+
+
+@pytest.mark.benchmark(group="codec")
+def test_wire_roundtrip(benchmark, rng, generation):
+    encoder = Encoder(1, generation, rng=rng)
+    packet = encoder.next_packet()
+
+    def _roundtrip():
+        from repro.rlnc.packet import CodedPacket
+
+        return CodedPacket.decode(packet.encode())
+
+    restored = benchmark(_roundtrip)
+    assert restored == packet

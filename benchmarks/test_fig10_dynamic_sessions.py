@@ -1,0 +1,46 @@
+"""Fig. 10 — total throughput and VNF count under session/receiver churn.
+
+Paper timeline: 3 initial sessions, +1 at 10/20/30 min, −1 at
+40/50/60 min, receiver joins at 70/80/90 min, leaves at 100/110/120.
+Expected shape: throughput rises with the session count and falls back;
+the VNF count rises, plateaus briefly (τ-grace reuse), then decays as
+resources are recycled; throughput stays roughly stable through the
+receiver churn window (joining receivers rarely move the session
+minimum).
+"""
+
+import pytest
+
+
+def _run():
+    from repro.experiments.dynamic import DynamicScenario
+
+    scenario = DynamicScenario(seed=3)
+    return scenario.run_churn(sample_interval_min=2.0)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_session_churn(benchmark, series_printer):
+    series = benchmark.pedantic(_run, rounds=1, iterations=1)
+    series_printer(
+        "Fig. 10: total throughput and # of VNFs over 120 minutes",
+        "minute",
+        [f"{m:.0f}" for m in series["minutes"]],
+        {
+            "throughput_mbps": series["throughput_mbps"],
+            "vnfs": [float(v) for v in series["vnfs"]],
+            "sessions": [float(s) for s in series["sessions"]],
+        },
+    )
+
+    by_minute = dict(zip(series["minutes"], series["throughput_mbps"]))
+    vnfs = dict(zip(series["minutes"], series["vnfs"]))
+    # Rise with arrivals, fall with departures.
+    assert by_minute[34.0] > 1.3 * by_minute[4.0]
+    assert by_minute[64.0] < 0.8 * by_minute[34.0]
+    # VNFs grow for the first half hour and get recycled by the end.
+    assert vnfs[34.0] > vnfs[0.0]
+    assert vnfs[120.0] < vnfs[34.0]
+    # Stability through receiver churn (70-120 min).
+    window = [t for m, t in zip(series["minutes"], series["throughput_mbps"]) if 70 <= m <= 120]
+    assert max(window) - min(window) < 0.35 * max(window)

@@ -1,0 +1,34 @@
+"""Fig. 12 — total throughput as the delay tolerance L^max grows.
+
+Paper: sweeping L^max from 75 to 200 ms with six retained sessions and
+scaling disabled, throughput grows with the expanding feasible path
+sets and stops growing past 150 ms ("the newly added feasible paths do
+not contribute to the solution").
+"""
+
+import pytest
+
+LMAX_VALUES = [60, 75, 100, 125, 150, 175, 200]
+
+
+def _run():
+    from repro.experiments.dynamic import lmax_sweep
+
+    return lmax_sweep(LMAX_VALUES, seed=3)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_lmax_sweep(benchmark, series_printer):
+    sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+    series_printer(
+        "Fig. 12: total throughput vs maximum tolerable delay",
+        "Lmax (ms)",
+        sweep["lmax_ms"],
+        {"throughput_mbps": sweep["throughput_mbps"], "vnfs": [float(v) for v in sweep["vnfs"]]},
+    )
+    t = sweep["throughput_mbps"]
+    # Monotone non-decreasing in the delay budget.
+    assert all(b >= a - 1e-6 for a, b in zip(t, t[1:]))
+    # Growth at the low end, saturation at the top (paper's two claims).
+    assert t[0] < 0.99 * t[-1]
+    assert t[-1] == pytest.approx(t[-2], rel=0.02)

@@ -1,0 +1,39 @@
+"""Fig. 13 — throughput and VNF count as the cost factor α grows.
+
+Paper: α converts VNF count into throughput units in the objective
+Σλ − αΣx.  As α grows the system trades throughput for fewer VNFs; at
+α = 200 it "refuses to launch any new VNF" and serves only what direct
+paths carry.  High α for cost-sensitive deployments, low for
+performance-sensitive ones.
+"""
+
+import pytest
+
+ALPHA_VALUES = [0, 10, 20, 50, 100, 150, 200]
+
+
+def _run():
+    from repro.experiments.dynamic import alpha_sweep
+
+    return alpha_sweep(ALPHA_VALUES, seed=3)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_alpha_sweep(benchmark, series_printer):
+    sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+    series_printer(
+        "Fig. 13: total throughput and # of VNFs vs alpha",
+        "alpha",
+        sweep["alpha"],
+        {"throughput_mbps": sweep["throughput_mbps"], "vnfs": [float(v) for v in sweep["vnfs"]]},
+    )
+    t = sweep["throughput_mbps"]
+    v = sweep["vnfs"]
+    # Both curves fall as alpha grows.
+    assert all(b <= a + 1e-6 for a, b in zip(t, t[1:]))
+    assert v[-1] <= min(v[:-1])
+    # The paper's two endpoints: α=0 maximizes throughput; α=200 deploys
+    # no VNFs at all while direct paths keep some data flowing.
+    assert v[0] > 5
+    assert v[-1] == 0
+    assert 0 < t[-1] < 0.3 * t[0]

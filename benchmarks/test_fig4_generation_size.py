@@ -1,0 +1,40 @@
+"""Fig. 4 — multicast throughput vs blocks per generation.
+
+Paper: throughput peaks when each generation contains 4 blocks
+(~70 Mbps on the butterfly) and plunges once generations exceed 16
+blocks; tiny generations also underperform.  We sweep the same knob on
+the simulated butterfly.  Expected shape: rise from k=1, peak in the
+2–4 region near the 70 Mbps bound, decline past 8 and collapse past 32
+(per-packet coding work grows linearly with k until the VNF's CPU
+budget C(v) is exhausted).
+"""
+
+import pytest
+
+BLOCK_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def _run_sweep():
+    from repro.experiments.butterfly import run_butterfly_nc
+
+    results = {}
+    for k in BLOCK_COUNTS:
+        out = run_butterfly_nc(duration_s=1.5, blocks_per_generation=k)
+        results[k] = out.session_throughput_mbps
+    return results
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_generation_size(benchmark, series_printer):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    series_printer(
+        "Fig. 4: throughput vs generation size (block = 1460 B)",
+        "blocks/generation",
+        BLOCK_COUNTS,
+        {"throughput_mbps": [results[k] for k in BLOCK_COUNTS]},
+    )
+    best = max(results, key=results.get)
+    assert best in (2, 4), f"peak at k={best}, expected the 2-4 region"
+    assert results[4] > 0.8 * 70.0
+    assert results[32] < 0.5 * results[4], "no plunge past 16 blocks"
+    assert results[1] < results[4], "single-block generations should underperform"

@@ -1,0 +1,40 @@
+"""Fig. 5 — multicast throughput vs per-session buffer size.
+
+Paper: throughput climbs with the buffer and saturates around 1024
+generations ("larger buffer gains little benefit"), which became the
+system default.  The buffer matters because the two branches of the
+butterfly deliver a generation's packets at different times: a relay
+that has already evicted a generation's recoding state cannot mix a
+late packet.  We provoke that skew with 60 ms of per-link delay jitter
+and sweep the buffer.
+"""
+
+import pytest
+
+BUFFER_SIZES = [8, 32, 64, 128, 256, 512, 1024, 1536]
+JITTER_S = 0.06
+
+
+def _run_sweep():
+    from repro.experiments.butterfly import run_butterfly_nc
+
+    results = {}
+    for buf in BUFFER_SIZES:
+        out = run_butterfly_nc(duration_s=1.5, buffer_generations=buf, jitter_s=JITTER_S)
+        results[buf] = out.session_throughput_mbps
+    return results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_buffer_size(benchmark, series_printer):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    series_printer(
+        "Fig. 5: throughput vs buffer size (jitter 60 ms)",
+        "buffer (generations)",
+        BUFFER_SIZES,
+        {"throughput_mbps": [results[b] for b in BUFFER_SIZES]},
+    )
+    assert results[8] < 0.3 * results[1024], "tiny buffers should collapse"
+    # Saturation: 1024 is enough; 1536 gains almost nothing (paper's point).
+    assert results[1536] <= results[1024] * 1.05
+    assert results[1024] > 0.8 * 70.0

@@ -1,0 +1,89 @@
+"""§V-C5 and Tab. III — control-plane overheads.
+
+Paper measurements:
+- launching a fresh VM: ~35 s;
+- starting a coding function on a running VM: ~376 ms (≈100× faster,
+  the justification for the τ-grace reuse design);
+- forwarding-table update pause: 78.44 → 310.61 ms as the updated
+  fraction of a 10-entry table goes 20 % → 100 %.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudProvider, DataCenter
+from repro.core.daemon import VNF_START_LATENCY_S, VnfDaemon
+from repro.core.forwarding import ForwardingTable, ForwardingUpdateModel
+from repro.core.signals import NcSettings, SignalBus
+from repro.core.vnf import CodingVnf
+from repro.net.events import EventScheduler
+
+PAPER_TABLE_III_MS = {20: 78.44, 40: 145.82, 60: 194.06, 80: 264.82, 100: 310.61}
+
+
+def _measure_overheads():
+    results = {}
+    # (i) VM launch latency, averaged over ten launches (as in the paper).
+    scheduler = EventScheduler()
+    provider = CloudProvider("ec2", scheduler, [DataCenter("oregon")], rng=np.random.default_rng(0))
+    launch_times = []
+    for _ in range(10):
+        vm = provider.launch_vm("oregon")
+        start = scheduler.now
+        scheduler.run(until=scheduler.now + 60.0)
+        launch_times.append(vm.running_since - start)
+    results["vm_launch_s"] = float(np.mean(launch_times))
+
+    # (ii) coding-function start on an already-running VM.
+    scheduler = EventScheduler()
+    bus = SignalBus(scheduler, latency_s=0.0)
+    vnf = CodingVnf("node", scheduler, rng=np.random.default_rng(0))
+    daemon = VnfDaemon(vnf, bus)
+    bus.send(NcSettings(target="node", roles=((1, "recoder"),)))
+    scheduler.run()
+    results["vnf_start_s"] = daemon.started_at
+
+    # (iii) forwarding-table update pause across update fractions.
+    model = ForwardingUpdateModel()
+    base = ForwardingTable({i: ["hopA"] for i in range(10)})
+    table_update_ms = {}
+    for percent in (20, 40, 60, 80, 100):
+        new = base.copy()
+        for i in range(percent // 10):
+            new.set_next_hops(i, ["hopB"])
+        table_update_ms[percent] = model.pause_for_update(base, new) * 1e3
+    results["table_update_ms"] = table_update_ms
+    return results
+
+
+@pytest.mark.benchmark(group="sec5c5")
+def test_launch_and_update_overheads(benchmark, table_printer):
+    r = benchmark.pedantic(_measure_overheads, rounds=1, iterations=1)
+
+    table_printer(
+        "Sec. V-C5: VNF launch/update overheads",
+        ["operation", "paper", "measured"],
+        [
+            ["launch new VM", "35 s", f"{r['vm_launch_s']:.1f} s"],
+            ["start coding function", "376.21 ms", f"{r['vnf_start_s'] * 1e3:.1f} ms"],
+        ],
+    )
+    table_printer(
+        "Tab. III: forwarding-table update pause (10-entry table)",
+        ["update %", "paper (ms)", "measured (ms)"],
+        [
+            [p, PAPER_TABLE_III_MS[p], f"{r['table_update_ms'][p]:.2f}"]
+            for p in sorted(PAPER_TABLE_III_MS)
+        ],
+    )
+
+    # The headline ratio: a VM launch is ~100x a function start.
+    ratio = r["vm_launch_s"] / r["vnf_start_s"]
+    assert 50 < ratio < 200
+    assert r["vm_launch_s"] == pytest.approx(35.0, rel=0.2)
+    assert r["vnf_start_s"] == pytest.approx(VNF_START_LATENCY_S, rel=1e-6)
+    # Tab. III within ~12% at every point, and monotone.
+    values = [r["table_update_ms"][p] for p in sorted(r["table_update_ms"])]
+    assert values == sorted(values)
+    for percent, paper_ms in PAPER_TABLE_III_MS.items():
+        assert r["table_update_ms"][percent] == pytest.approx(paper_ms, rel=0.12)

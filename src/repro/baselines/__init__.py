@@ -1,0 +1,20 @@
+"""Baselines the paper compares against in Fig. 7–9.
+
+- :mod:`repro.baselines.tcp` — "Direct TCP": a loss- and RTT-responsive
+  AIMD throughput model for the direct source→receiver connection, plus
+  the Mathis steady-state bound used to cross-check it.
+- :mod:`repro.baselines.relay` — "Non-NC": relays forward packets
+  without coding.  Flow-level rate via fractional tree packing
+  (:mod:`repro.routing.packing`); packet-level behaviour via the
+  FORWARDER VNF role in the experiment harness.
+"""
+
+from repro.baselines.relay import non_nc_multicast_rate
+from repro.baselines.tcp import MathisModel, TcpAimdSimulator, direct_tcp_throughput_mbps
+
+__all__ = [
+    "MathisModel",
+    "TcpAimdSimulator",
+    "direct_tcp_throughput_mbps",
+    "non_nc_multicast_rate",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro.cli butterfly            # Fig. 7 comparison
+    python -m repro.cli delays               # Tab. II RTT table
+    python -m repro.cli loss --model uniform # Fig. 8 sweep
+    python -m repro.cli churn                # Fig. 10 timeline
+    python -m repro.cli sweep --knob alpha   # Fig. 12 / Fig. 13
+    python -m repro.cli capacity             # analytic bounds only
+
+Each command prints a paper-style table; ``--csv PATH`` additionally
+writes the series as CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+
+def _write_csv(path: str, headers: list, rows: list) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    print(f"(wrote {path})")
+
+
+def _print(headers: list, rows: list) -> None:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(headers)]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def cmd_capacity(args) -> list:
+    from repro.experiments.butterfly import routing_only_capacity_mbps, theoretical_capacity_mbps
+
+    rows = [
+        ["network coding (Ford-Fulkerson)", f"{theoretical_capacity_mbps():.1f}"],
+        ["routing only (tree packing)", f"{routing_only_capacity_mbps():.1f}"],
+    ]
+    _print(["bound", "Mbps"], rows)
+    return rows
+
+
+def cmd_butterfly(args) -> list:
+    from repro.experiments.butterfly import run_butterfly_nc, run_butterfly_non_nc, run_direct_tcp
+
+    nc = run_butterfly_nc(duration_s=args.duration)
+    non_nc = run_butterfly_non_nc(duration_s=args.duration, mode="striped")
+    tcp = run_direct_tcp()
+    rows = [
+        ["NC", f"{nc.session_throughput_mbps:.1f}"],
+        ["Non-NC", f"{non_nc.session_throughput_mbps:.1f}"],
+        ["Direct TCP", f"{tcp['session']:.1f}"],
+    ]
+    _print(["system", "session Mbps"], rows)
+    return rows
+
+
+def cmd_delays(args) -> list:
+    from repro.experiments.butterfly import measure_delays
+
+    measured = measure_delays()
+    rows = [[key, f"{value:.2f}"] for key, value in sorted(measured.items())]
+    _print(["path", "RTT (ms)"], rows)
+    return rows
+
+
+def cmd_loss(args) -> list:
+    from repro.experiments.butterfly import run_butterfly_nc
+    from repro.net.loss import BurstLoss, UniformLoss
+    from repro.rlnc.redundancy import RedundancyPolicy
+
+    points = [float(x) for x in args.points.split(",")]
+    rows = []
+    for p in points:
+        if args.model == "uniform":
+            loss = UniformLoss(p) if p else None
+        else:
+            loss = BurstLoss(p, correlation=0.25) if p else None
+        row = [f"{p:.0%}"]
+        for extra in (0, 1, 2):
+            out = run_butterfly_nc(
+                duration_s=args.duration,
+                rate_mbps=66.0 * 4 / (4 + extra),
+                redundancy=RedundancyPolicy(extra),
+                loss_on_bottleneck=loss,
+                window_generations=512,
+            )
+            row.append(f"{out.session_throughput_mbps:.1f}")
+        rows.append(row)
+    _print(["loss", "NC0", "NC1", "NC2"], rows)
+    return rows
+
+
+def cmd_churn(args) -> list:
+    from repro.experiments.dynamic import DynamicScenario
+
+    series = DynamicScenario(seed=args.seed).run_churn(sample_interval_min=args.interval)
+    rows = [
+        [f"{m:.0f}", f"{t:.0f}", v, s]
+        for m, t, v, s in zip(series["minutes"], series["throughput_mbps"], series["vnfs"], series["sessions"])
+    ]
+    _print(["minute", "throughput Mbps", "vnfs", "sessions"], rows)
+    return rows
+
+
+def cmd_sweep(args) -> list:
+    if args.knob == "alpha":
+        from repro.experiments.dynamic import alpha_sweep
+
+        sweep = alpha_sweep([0, 10, 20, 50, 100, 150, 200], seed=args.seed)
+        xs, x_label = sweep["alpha"], "alpha"
+    else:
+        from repro.experiments.dynamic import lmax_sweep
+
+        sweep = lmax_sweep([60, 75, 100, 125, 150, 175, 200], seed=args.seed)
+        xs, x_label = sweep["lmax_ms"], "Lmax (ms)"
+    rows = [
+        [x, f"{t:.0f}", v] for x, t, v in zip(xs, sweep["throughput_mbps"], sweep["vnfs"])
+    ]
+    _print([x_label, "throughput Mbps", "vnfs"], rows)
+    return rows
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--csv", help="also write the result table to this CSV path")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("capacity", help="analytic butterfly bounds")
+
+    p = sub.add_parser("butterfly", help="Fig. 7: NC vs Non-NC vs direct TCP")
+    p.add_argument("--duration", type=float, default=2.0)
+
+    sub.add_parser("delays", help="Tab. II: direct vs relayed RTTs")
+
+    p = sub.add_parser("loss", help="Fig. 8/9: throughput vs loss")
+    p.add_argument("--model", choices=("uniform", "burst"), default="uniform")
+    p.add_argument("--points", default="0,0.1,0.3,0.5", help="comma-separated loss rates")
+    p.add_argument("--duration", type=float, default=1.5)
+
+    p = sub.add_parser("churn", help="Fig. 10: session/receiver churn timeline")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--interval", type=float, default=5.0)
+
+    p = sub.add_parser("sweep", help="Fig. 12/13: Lmax or alpha sweep")
+    p.add_argument("--knob", choices=("alpha", "lmax"), default="alpha")
+    p.add_argument("--seed", type=int, default=3)
+    return parser
+
+
+COMMANDS = {
+    "capacity": (cmd_capacity, ["bound", "Mbps"]),
+    "butterfly": (cmd_butterfly, ["system", "session Mbps"]),
+    "delays": (cmd_delays, ["path", "RTT (ms)"]),
+    "loss": (cmd_loss, ["loss", "NC0", "NC1", "NC2"]),
+    "churn": (cmd_churn, ["minute", "throughput Mbps", "vnfs", "sessions"]),
+    "sweep": (cmd_sweep, ["x", "throughput Mbps", "vnfs"]),
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler, headers = COMMANDS[args.command]
+    rows = handler(args)
+    if args.csv:
+        _write_csv(args.csv, headers, rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Geo-distributed cloud substrate.
+
+The paper rents VMs in six data centers (EC2 California/Oregon/Virginia,
+Linode Texas/Georgia/New Jersey) and drives them through provider APIs.
+This package simulates that environment:
+
+- :mod:`repro.cloud.flavor` — instance types (the paper's C3.xlarge and
+  the Linode 1-core flavour) with coding capacity and bandwidth caps.
+- :mod:`repro.cloud.vm` — VM lifecycle: PENDING (launch latency ~35 s,
+  per §V-C5) → RUNNING → STOPPING (τ grace for reuse) → TERMINATED.
+- :mod:`repro.cloud.datacenter` — a region with its bandwidth-cap trace
+  (Tab. I shows per-VM caps wobbling in the ~880–940 Mbps range over an
+  hour) and inter-region delay matrix.
+- :mod:`repro.cloud.provider` — the EC2/Linode-flavoured API surface the
+  controller calls (launch/terminate/list), with per-provider launch
+  latency distributions.
+- :mod:`repro.cloud.billing` — per-VM-hour cost accounting, the "number
+  of VNFs" term the optimization's α converts into throughput units.
+- :mod:`repro.cloud.trace` — reproducible bandwidth-trace generator and
+  the measured Tab. I series.
+"""
+
+from repro.cloud.billing import BillingMeter
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.flavor import C3_XLARGE, LINODE_1GB, InstanceFlavor
+from repro.cloud.provider import CloudProvider, ProviderError
+from repro.cloud.trace import BandwidthTrace, TABLE_I_TRACES
+from repro.cloud.vm import VirtualMachine, VmState
+
+__all__ = [
+    "InstanceFlavor",
+    "C3_XLARGE",
+    "LINODE_1GB",
+    "VirtualMachine",
+    "VmState",
+    "DataCenter",
+    "CloudProvider",
+    "ProviderError",
+    "BillingMeter",
+    "BandwidthTrace",
+    "TABLE_I_TRACES",
+]

@@ -1,0 +1,46 @@
+"""Cost accounting for the service provider.
+
+The optimization's second objective term, α·Σ_v x_v, is a proxy for
+deployment cost.  :class:`BillingMeter` tracks the real thing over a
+simulated run — VM-seconds per data center and dollars per provider —
+so experiments can report both the proxy the algorithm optimizes and
+the cost it actually incurs (used by the τ-grace ablation: keeping idle
+VMs alive trades dollars for relaunch latency).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cloud.provider import CloudProvider
+
+
+class BillingMeter:
+    """Aggregates cost across providers at sample times."""
+
+    def __init__(self, providers: list[CloudProvider]):
+        self.providers = providers
+        self.samples: list[tuple[float, float]] = []  # (time, cumulative $)
+
+    def sample(self, now: float) -> float:
+        """Record and return the cumulative cost at time ``now``."""
+        total = sum(p.total_cost_usd(now) for p in self.providers)
+        self.samples.append((now, total))
+        return total
+
+    def cost_by_datacenter(self, now: float) -> dict:
+        """Cumulative cost split per data center."""
+        out: dict[str, float] = defaultdict(float)
+        for provider in self.providers:
+            for vm in provider.list_vms():
+                out[vm.datacenter] += vm.cost_usd(now)
+        return dict(out)
+
+    def vm_seconds(self, now: float) -> float:
+        """Total billed VM-seconds across the fleet."""
+        return sum(vm.billed_seconds(now) for p in self.providers for vm in p.list_vms())
+
+    def final_cost(self) -> float:
+        if not self.samples:
+            raise RuntimeError("no billing samples recorded")
+        return self.samples[-1][1]

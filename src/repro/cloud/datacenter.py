@@ -1,0 +1,93 @@
+"""Data centers: regions where coding VNFs may be deployed.
+
+A :class:`DataCenter` tracks the VMs launched in it, its current per-VM
+inbound/outbound bandwidth caps (B_in(v), B_out(v) in the optimization)
+and the per-VNF coding capacity C(v).  Caps can be driven by a
+:class:`~repro.cloud.trace.BandwidthTrace` to reproduce the paper's
+time-varying measurements, or set directly by experiments (the Fig. 11
+bandwidth-cut events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.flavor import C3_XLARGE, InstanceFlavor
+from repro.cloud.trace import BandwidthTrace
+from repro.cloud.vm import VirtualMachine, VmState
+
+
+@dataclass
+class DataCenter:
+    """One cloud region available for coding-function deployment."""
+
+    name: str
+    region: str = ""
+    provider_name: str = ""
+    flavor: InstanceFlavor = field(default_factory=lambda: C3_XLARGE)
+    inbound_mbps: float | None = None
+    outbound_mbps: float | None = None
+    trace: BandwidthTrace | None = None
+
+    def __post_init__(self):
+        if self.inbound_mbps is None:
+            self.inbound_mbps = self.flavor.inbound_mbps
+        if self.outbound_mbps is None:
+            self.outbound_mbps = self.flavor.outbound_mbps
+        self.vms: list[VirtualMachine] = []
+
+    # -- capacity view used by the optimizer -------------------------------
+
+    @property
+    def coding_capacity_mbps(self) -> float:
+        """C(v): max encode rate of one VNF in this data center."""
+        return self.flavor.coding_capacity_mbps
+
+    def bandwidth_caps(self) -> tuple[float, float]:
+        """Current (B_in, B_out) per-VM caps in Mbps."""
+        return self.inbound_mbps, self.outbound_mbps
+
+    def set_bandwidth_caps(self, inbound_mbps: float | None = None, outbound_mbps: float | None = None) -> None:
+        """Apply a bandwidth change (measurement update or netem cut)."""
+        if inbound_mbps is not None:
+            if inbound_mbps <= 0:
+                raise ValueError("inbound cap must be positive")
+            self.inbound_mbps = inbound_mbps
+        if outbound_mbps is not None:
+            if outbound_mbps <= 0:
+                raise ValueError("outbound cap must be positive")
+            self.outbound_mbps = outbound_mbps
+
+    def advance_trace(self, rng: np.random.Generator) -> tuple[float, float]:
+        """Draw the next (in, out) caps from the bandwidth trace."""
+        if self.trace is None:
+            return self.bandwidth_caps()
+        self.inbound_mbps = float(self.trace.generate(1, rng)[0])
+        self.outbound_mbps = float(self.trace.generate(1, rng)[0])
+        return self.bandwidth_caps()
+
+    # -- VM bookkeeping -----------------------------------------------------
+
+    def register_vm(self, vm: VirtualMachine) -> None:
+        if vm.datacenter != self.name:
+            raise ValueError(f"VM {vm.vm_id} belongs to {vm.datacenter}, not {self.name}")
+        self.vms.append(vm)
+
+    def usable_vms(self) -> list[VirtualMachine]:
+        """VMs a coding function can run on right now (running/stopping)."""
+        return [vm for vm in self.vms if vm.is_usable]
+
+    def running_vms(self) -> list[VirtualMachine]:
+        return [vm for vm in self.vms if vm.state is VmState.RUNNING]
+
+    def stopping_vms(self) -> list[VirtualMachine]:
+        """VMs inside their τ grace window, reusable without relaunch."""
+        return [vm for vm in self.vms if vm.state is VmState.STOPPING]
+
+    def __repr__(self) -> str:
+        return (
+            f"DataCenter({self.name}, in={self.inbound_mbps:.0f} Mbps, "
+            f"out={self.outbound_mbps:.0f} Mbps, vms={len(self.usable_vms())})"
+        )

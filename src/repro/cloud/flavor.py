@@ -1,0 +1,67 @@
+"""Instance flavours: the hardware a coding VNF runs on.
+
+Two flavours reproduce the paper's fleet (§V-A):
+
+- ``C3_XLARGE`` — EC2 c3.xlarge: 4 × Xeon E5-2680 v2 cores, 7.5 GB RAM,
+  1000 Mbps virtualized NIC with SR-IOV enhanced networking.
+- ``LINODE_1GB`` — Linode: 1 core, 1 GB RAM, 40 Gbps in / 125 Mbps out.
+
+``coding_capacity_mbps`` is the paper's C(v): the maximum rate at which
+one VNF on this flavour can encode packets.  The paper treats it as a
+given constant; we derive a default from the NIC model and a measured
+per-byte coding cost, and let experiments override it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.nic import NicModel, PollModeNic
+
+
+@dataclass(frozen=True)
+class InstanceFlavor:
+    """A VM hardware configuration offered by a cloud provider."""
+
+    name: str
+    vcpus: int
+    ram_gb: float
+    inbound_mbps: float
+    outbound_mbps: float
+    coding_capacity_mbps: float
+    hourly_cost_usd: float
+    nic: NicModel = field(default_factory=PollModeNic)
+
+    def __post_init__(self):
+        if self.vcpus <= 0 or self.ram_gb <= 0:
+            raise ValueError("flavour must have positive CPU and RAM")
+        if min(self.inbound_mbps, self.outbound_mbps, self.coding_capacity_mbps) <= 0:
+            raise ValueError("bandwidth and coding capacity must be positive")
+        if self.hourly_cost_usd < 0:
+            raise ValueError("cost cannot be negative")
+
+    def effective_capacity_mbps(self) -> float:
+        """Throughput ceiling of one VNF: min(NIC, coding, in, out)."""
+        nic_mbps = self.nic.max_throughput_bps(packet_bytes=1500) / 1e6
+        return min(nic_mbps, self.coding_capacity_mbps, self.inbound_mbps, self.outbound_mbps)
+
+
+C3_XLARGE = InstanceFlavor(
+    name="c3.xlarge",
+    vcpus=4,
+    ram_gb=7.5,
+    inbound_mbps=1000.0,
+    outbound_mbps=1000.0,
+    coding_capacity_mbps=900.0,
+    hourly_cost_usd=0.21,
+)
+
+LINODE_1GB = InstanceFlavor(
+    name="linode-1gb",
+    vcpus=1,
+    ram_gb=1.0,
+    inbound_mbps=40_000.0,
+    outbound_mbps=125.0,
+    coding_capacity_mbps=300.0,
+    hourly_cost_usd=0.0069,
+)

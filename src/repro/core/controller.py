@@ -1,0 +1,418 @@
+"""The central controller (paper §III-A, §IV).
+
+The controller is the brain of the system: it keeps the network view
+(the graph of sources, receivers and data centers with measured
+bandwidth/delay), computes coding-function deployment and multicast
+routing by solving problem (2), launches and retires VMs through the
+cloud provider APIs, and configures daemons over the signal bus
+(NC_SETTINGS for roles/ports/coding parameters, NC_FORWARD_TAB for
+routing, NC_VNF_END with the τ grace for retirement).
+
+State per session: the achieved rate λ_m and the routed
+:class:`~repro.routing.conceptual.FlowDecomposition`.  The global VNF
+requirement per data center is recomputed from the union of all routed
+flows (the exact aggregate form of constraints (2c)–(2e)), and
+:meth:`reconcile_fleet` drives the VM fleet toward it — reusing VMs in
+their τ grace window before launching new ones, which is what makes
+scale-out cheap in Fig. 11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+
+import networkx as nx
+
+from repro.cloud.provider import CloudProvider
+from repro.core.deployment import DataCenterSpec, DeploymentPlan, DeploymentProblem
+from repro.core.forwarding import ForwardingTable
+from repro.core.session import MulticastSession
+from repro.core.signals import NcForwardTab, NcSettings, NcStart, NcVnfEnd, NcVnfStart, SignalBus
+from repro.net.events import EventScheduler
+from repro.routing.conceptual import FlowDecomposition
+
+
+@dataclass
+class FleetState:
+    """VM bookkeeping for one data center."""
+
+    target: int = 0
+    vms: list = dataclass_field(default_factory=list)
+
+    def usable(self) -> list:
+        return [vm for vm in self.vms if vm.is_usable]
+
+    def stopping(self) -> list:
+        return [vm for vm in self.vms if vm.state.value == "stopping"]
+
+    def running_or_pending(self) -> list:
+        return [vm for vm in self.vms if vm.state.value in ("running", "pending")]
+
+
+class Controller:
+    """Global controller for coding-function deployment and routing."""
+
+    def __init__(
+        self,
+        graph: nx.DiGraph,
+        datacenters: list,
+        scheduler: EventScheduler,
+        alpha: float = 20.0,
+        bus: SignalBus | None = None,
+        providers: dict | None = None,
+        grace_tau_s: float = 600.0,
+        source_outbound_mbps: float = 1000.0,
+        receiver_inbound_mbps: float = 1000.0,
+        endpoint_caps: dict | None = None,
+    ):
+        self.graph = graph
+        self.datacenters: dict[str, DataCenterSpec] = {dc.name: dc for dc in datacenters}
+        self.scheduler = scheduler
+        self.alpha = alpha
+        self.bus = bus if bus is not None else SignalBus(scheduler)
+        self.providers = dict(providers or {})  # dc name -> CloudProvider
+        self.grace_tau_s = grace_tau_s
+        self.source_outbound_mbps = source_outbound_mbps
+        self.receiver_inbound_mbps = receiver_inbound_mbps
+        self.endpoint_caps = dict(endpoint_caps or {})
+
+        self.sessions: dict[int, MulticastSession] = {}
+        self.lambdas: dict[int, float] = {}
+        self.decompositions: dict[int, FlowDecomposition] = {}
+        self.fleet: dict[str, FleetState] = {name: FleetState() for name in self.datacenters}
+        self.solves = 0
+
+    # -- problem construction ------------------------------------------------
+
+    def problem(self, alpha: float | None = None) -> DeploymentProblem:
+        """A fresh :class:`DeploymentProblem` over the current graph."""
+        return DeploymentProblem(
+            self.graph,
+            list(self.datacenters.values()),
+            alpha=self.alpha if alpha is None else alpha,
+            source_outbound_mbps=self.source_outbound_mbps,
+            receiver_inbound_mbps=self.receiver_inbound_mbps,
+            endpoint_caps=self.endpoint_caps,
+        )
+
+    def _plan_of(self, session_ids) -> list:
+        """Existing per-session plans (for freezing) for the given ids."""
+        plans = []
+        for sid in session_ids:
+            decomposition = self.decompositions.get(sid)
+            if decomposition is None:
+                continue
+            plans.append(
+                DeploymentPlan(
+                    lambdas={sid: self.lambdas.get(sid, 0.0)},
+                    decompositions={sid: decomposition},
+                    alpha=self.alpha,
+                )
+            )
+        return plans
+
+    def _store(self, plan: DeploymentPlan) -> None:
+        self.lambdas.update(plan.lambdas)
+        self.decompositions.update(plan.decompositions)
+        self.solves += 1
+
+    # -- session lifecycle (entry points used by the scaling engine) -----------
+
+    def add_session(self, session: MulticastSession, reconcile: bool = True) -> DeploymentPlan:
+        """SESSION JOIN: route the new session over surplus + new capacity."""
+        if session.session_id in self.sessions:
+            raise ValueError(f"session {session.session_id} already registered")
+        self.sessions[session.session_id] = session
+        problem = self.problem()
+        demand = problem.build_demand(session)
+        frozen = self._plan_of(sid for sid in self.sessions if sid != session.session_id)
+        plan = problem.solve([demand], frozen=frozen, baseline_vnfs=self.current_vnf_counts())
+        self._store(plan)
+        if reconcile:
+            self.reconcile_fleet()
+        self.bus.send(NcStart(target=session.source, session_id=session.session_id))
+        return plan
+
+    def remove_session(self, session_id: int, reconcile: bool = True) -> dict:
+        """SESSION QUIT: compare growing flows (g1) vs shrinking fleet (g2)."""
+        if session_id not in self.sessions:
+            raise ValueError(f"unknown session {session_id}")
+        del self.sessions[session_id]
+        self.lambdas.pop(session_id, None)
+        self.decompositions.pop(session_id, None)
+        return self._rebalance_after_departure(reconcile)
+
+    def add_receiver(self, session_id: int, receiver: str, reconcile: bool = True) -> DeploymentPlan:
+        """RECEIVER JOIN: re-route the affected session only."""
+        session = self._session(session_id)
+        session.add_receiver(receiver)
+        return self._resolve_sessions([session_id], reconcile)
+
+    def remove_receiver(self, session_id: int, receiver: str, reconcile: bool = True) -> dict:
+        """RECEIVER QUIT: like session quit, scoped to one session."""
+        session = self._session(session_id)
+        session.remove_receiver(receiver)
+        self._resolve_sessions([session_id], reconcile=False)
+        return self._rebalance_after_departure(reconcile)
+
+    def _session(self, session_id: int) -> MulticastSession:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id}") from None
+
+    # -- re-solve primitives ------------------------------------------------------
+
+    def _resolve_sessions(self, session_ids: list, reconcile: bool = True) -> DeploymentPlan:
+        """Re-route the given sessions; everything else stays frozen."""
+        problem = self.problem()
+        demands = [problem.build_demand(self.sessions[sid]) for sid in session_ids]
+        frozen = self._plan_of(sid for sid in self.sessions if sid not in set(session_ids))
+        plan = problem.solve(demands, frozen=frozen, baseline_vnfs=self.current_vnf_counts())
+        self._store(plan)
+        if reconcile:
+            self.reconcile_fleet()
+        return plan
+
+    def resolve_all(self, reconcile: bool = True) -> DeploymentPlan:
+        """Full re-optimization of every session (initial deployment)."""
+        problem = self.problem()
+        demands = [problem.build_demand(s) for s in self.sessions.values()]
+        plan = problem.solve(demands, baseline_vnfs=self.current_vnf_counts())
+        self._store(plan)
+        if reconcile:
+            self.reconcile_fleet()
+        return plan
+
+    def _rebalance_after_departure(self, reconcile: bool = True) -> dict:
+        """Alg. 3 SESSION/RECEIVER QUIT: pick max(g1 grow-flows, g2 shrink-fleet)."""
+        remaining = list(self.sessions)
+        current_counts = self.current_vnf_counts()
+        g1_plan = g2_plan = None
+        if remaining:
+            problem = self.problem()
+            demands = [problem.build_demand(self.sessions[sid]) for sid in remaining]
+            # g1: keep the VNF deployment, let the flows grow into freed capacity.
+            g1_plan = problem.solve(demands, fixed_vnfs=current_counts)
+            # g2: keep current flow rates, retire VNFs no longer needed.
+            fixed_sessions = []
+            for sid in remaining:
+                session = self.sessions[sid]
+                rate = self.lambdas.get(sid, 0.0)
+                fixed_sessions.append(
+                    MulticastSession(
+                        source=session.source,
+                        receivers=list(session.receivers),
+                        max_delay_ms=session.max_delay_ms,
+                        fixed_rate_mbps=max(rate, 1e-3),
+                        coding=session.coding,
+                        session_id=session.session_id,
+                    )
+                )
+            g2_demands = [problem.build_demand(s) for s in fixed_sessions]
+            g2_plan = problem.solve(g2_demands)
+        g1 = self._objective_of(g1_plan)
+        g2 = self._objective_of(g2_plan)
+        chosen = g1_plan if g1 >= g2 else g2_plan
+        if chosen is not None:
+            self._store(chosen)
+        if reconcile:
+            self.reconcile_fleet()
+        return {"g1": g1, "g2": g2, "chosen": "g1" if g1 >= g2 else "g2"}
+
+    def _objective_of(self, plan: DeploymentPlan | None) -> float:
+        if plan is None:
+            return 0.0
+        return plan.total_throughput_mbps - self.alpha * sum(self._required_counts(plan).values())
+
+    # -- VNF requirement & fleet reconciliation -------------------------------------
+
+    def _required_counts(self, plan: DeploymentPlan | None = None) -> dict:
+        """Minimum VNFs per data center for the given (default: live) flows."""
+        decompositions = (
+            plan.decompositions.values() if plan is not None else self.decompositions.values()
+        )
+        load: dict = {}
+        for decomposition in decompositions:
+            for edge, rate in decomposition.link_rates().items():
+                load[edge] = load.get(edge, 0.0) + rate
+        counts = {}
+        for name, dc in self.datacenters.items():
+            inflow = sum(rate for edge, rate in load.items() if edge[1] == name)
+            outflow = sum(rate for edge, rate in load.items() if edge[0] == name)
+            counts[name] = max(
+                math.ceil(inflow / min(dc.inbound_mbps, dc.coding_mbps) - 1e-9),
+                math.ceil(outflow / dc.outbound_mbps - 1e-9),
+                0,
+            )
+        return counts
+
+    def required_vnf_counts(self) -> dict:
+        """Per-DC VNF requirement implied by all currently routed flows."""
+        return self._required_counts()
+
+    def current_vnf_counts(self) -> dict:
+        """Per-DC usable VMs (running, pending, or inside the τ grace)."""
+        return {
+            name: len(state.usable()) + len([vm for vm in state.vms if vm.state.value == "pending"])
+            for name, state in self.fleet.items()
+        }
+
+    def total_vnfs(self) -> int:
+        return sum(self.current_vnf_counts().values())
+
+    def total_throughput_mbps(self) -> float:
+        """Planned throughput: Σ_m λ_m of the current routing solution."""
+        return sum(self.lambdas.values())
+
+    def running_vnf_counts(self) -> dict:
+        """VMs actually able to carry traffic (RUNNING, not booting)."""
+        out = {}
+        for name, state in self.fleet.items():
+            if state.vms:
+                out[name] = len([vm for vm in state.vms if vm.state.value in ("running", "stopping")])
+            else:
+                # No provider-backed fleet (pure planning mode): assume
+                # the requirement is met instantly.
+                out[name] = self.required_vnf_counts().get(name, 0)
+        return out
+
+    def achieved_throughputs(self, actual_caps: dict | None = None) -> dict:
+        """Ground-truth per-session rates under the *real* capacities.
+
+        Between an environment change (a bandwidth cut, a VM still
+        booting) and the controller's reaction, the routed flows exceed
+        what the data plane can carry; the delivered rate of a session
+        scales by the worst over-subscription among the data centers it
+        traverses.  ``actual_caps`` maps dc name -> (B_in, B_out) ground
+        truth; defaults to the controller's current belief.
+        """
+        load: dict = {}
+        for decomposition in self.decompositions.values():
+            for edge, rate in decomposition.link_rates().items():
+                load[edge] = load.get(edge, 0.0) + rate
+        running = self.running_vnf_counts()
+        factor: dict = {}
+        for name, dc in self.datacenters.items():
+            caps = (actual_caps or {}).get(name, (dc.inbound_mbps, dc.outbound_mbps))
+            vnfs = running.get(name, 0)
+            inflow = sum(rate for edge, rate in load.items() if edge[1] == name)
+            outflow = sum(rate for edge, rate in load.items() if edge[0] == name)
+            in_capacity = min(caps[0], dc.coding_mbps) * vnfs
+            out_capacity = caps[1] * vnfs
+            factor[(name, "in")] = 1.0 if inflow <= 1e-9 else min(1.0, in_capacity / inflow)
+            factor[(name, "out")] = 1.0 if outflow <= 1e-9 else min(1.0, out_capacity / outflow)
+        achieved = {}
+        for sid, decomposition in self.decompositions.items():
+            worst = 1.0
+            for (u, v), rate in decomposition.link_rates().items():
+                if rate <= 1e-9:
+                    continue
+                if v in self.datacenters:
+                    worst = min(worst, factor[(v, "in")])
+                if u in self.datacenters:
+                    worst = min(worst, factor[(u, "out")])
+            achieved[sid] = self.lambdas.get(sid, 0.0) * worst
+        return achieved
+
+    def achieved_total_throughput_mbps(self, actual_caps: dict | None = None) -> float:
+        return sum(self.achieved_throughputs(actual_caps).values())
+
+    def reconcile_fleet(self) -> dict:
+        """Drive the VM fleet toward the current requirement.
+
+        Scale-out prefers reusing VMs inside their τ grace window (free
+        and instant) before calling the provider API; scale-in sends
+        NC_VNF_END, which opens the τ window rather than killing the VM.
+        Returns a summary of actions taken.
+        """
+        required = self.required_vnf_counts()
+        actions = {"launched": 0, "reused": 0, "retired": 0}
+        for name, state in self.fleet.items():
+            state.target = required.get(name, 0)
+            active = [vm for vm in state.vms if vm.state.value in ("running", "pending")]
+            deficit = state.target - len(active)
+            if deficit > 0:
+                # Reuse τ-grace VMs first.
+                for vm in state.stopping():
+                    if deficit == 0:
+                        break
+                    vm.reuse()
+                    actions["reused"] += 1
+                    deficit -= 1
+                if deficit > 0:
+                    self.bus.send(NcVnfStart(target="controller", datacenter=name, count=deficit))
+                    provider = self.providers.get(name)
+                    for _ in range(deficit):
+                        if provider is not None:
+                            vm = provider.launch_vm(name, grace_tau_s=self.grace_tau_s)
+                            state.vms.append(vm)
+                        actions["launched"] += 1
+            elif deficit < 0:
+                for vm in active[deficit:]:  # retire the newest surplus VMs
+                    self.bus.send(NcVnfEnd(target=f"{name}/{vm.vm_id}", vnf_name=vm.vm_id, tau_s=self.grace_tau_s))
+                    vm.request_shutdown()
+                    actions["retired"] += 1
+        return actions
+
+    # -- forwarding tables --------------------------------------------------------------
+
+    def forwarding_tables(self) -> dict:
+        """Per-node forwarding tables derived from all routed flows.
+
+        Node u forwards session m to every v with f_m((u, v)) > 0.
+        """
+        tables: dict[str, ForwardingTable] = {}
+        for sid, decomposition in self.decompositions.items():
+            for (u, v), rate in decomposition.link_rates().items():
+                if rate <= 1e-9:
+                    continue
+                table = tables.setdefault(u, ForwardingTable())
+                hops = table.next_hops(sid)
+                if v not in hops:
+                    hops.append(v)
+                    table.set_next_hops(sid, hops)
+        return tables
+
+    def push_forwarding_tables(self) -> int:
+        """Send NC_FORWARD_TAB to every node with a table; returns count."""
+        tables = self.forwarding_tables()
+        for node, table in tables.items():
+            self.bus.send(NcForwardTab(target=node, table_text=table.serialize()))
+        return len(tables)
+
+    def push_settings(self, session: MulticastSession, node_roles: dict, udp_port: int = 52017) -> None:
+        """Send NC_SETTINGS describing one session to the given nodes."""
+        for node, role in node_roles.items():
+            self.bus.send(
+                NcSettings(
+                    target=node,
+                    session_ids=(session.session_id,),
+                    roles=((session.session_id, role.value),),
+                    udp_port=udp_port,
+                    generation_bytes=session.coding.generation_bytes,
+                    block_bytes=session.coding.block_bytes,
+                )
+            )
+
+    # -- measurement ingestion (graph updates) ------------------------------------------
+
+    def observe_link(self, edge: tuple, bandwidth_mbps: float | None = None, delay_ms: float | None = None) -> None:
+        """Apply a measurement sample to the network view."""
+        if edge not in self.graph.edges:
+            raise KeyError(f"unknown link {edge}")
+        if bandwidth_mbps is not None:
+            self.graph.edges[edge]["capacity_mbps"] = bandwidth_mbps
+        if delay_ms is not None:
+            self.graph.edges[edge]["delay_ms"] = delay_ms
+
+    def observe_datacenter_caps(self, name: str, inbound_mbps: float | None = None, outbound_mbps: float | None = None) -> None:
+        """Apply measured per-VNF bandwidth caps (B_in, B_out)."""
+        dc = self.datacenters.get(name)
+        if dc is None:
+            raise KeyError(f"unknown data center {name}")
+        if inbound_mbps is not None:
+            dc.inbound_mbps = inbound_mbps
+        if outbound_mbps is not None:
+            dc.outbound_mbps = outbound_mbps

@@ -1,0 +1,93 @@
+"""The per-node daemon (paper §III-A).
+
+"A daemon program runs on each network coding node."  The daemon is the
+control-plane agent: it registers with the :class:`SignalBus`, brings
+the coding function up when NC_SETTINGS arrives (starting a coding
+function on a launched VM costs ~376 ms, §V-C5), applies forwarding
+tables (the SIGUSR1 cycle), and tears the VNF down on NC_VNF_END after
+the τ grace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.forwarding import ForwardingTable
+from repro.core.session import CodingConfig
+from repro.core.signals import NcForwardTab, NcSettings, NcStart, NcVnfEnd, Signal, SignalBus
+from repro.core.vnf import CodingVnf, VnfRole
+
+VNF_START_LATENCY_S = 0.37621  # measured average in §V-C5
+
+
+class VnfDaemon:
+    """Control-plane agent colocated with one coding VNF."""
+
+    def __init__(
+        self,
+        vnf: CodingVnf,
+        bus: SignalBus,
+        session_configs: dict | None = None,
+        on_shutdown: Callable[["VnfDaemon"], None] | None = None,
+        vnf_start_latency_s: float = VNF_START_LATENCY_S,
+    ):
+        self.vnf = vnf
+        self.bus = bus
+        self.session_configs = dict(session_configs or {})  # session_id -> CodingConfig
+        self.on_shutdown = on_shutdown
+        self.vnf_start_latency_s = vnf_start_latency_s
+        self.function_running = False
+        self.started_at: float | None = None
+        self.pending_table: ForwardingTable | None = None
+        self.applied_tables = 0
+        self.total_pause_s = 0.0
+        bus.register(vnf.name, self.handle_signal)
+
+    # -- signal dispatch ------------------------------------------------
+
+    def handle_signal(self, signal: Signal) -> None:
+        if isinstance(signal, NcSettings):
+            self._on_settings(signal)
+        elif isinstance(signal, NcForwardTab):
+            self._on_forward_tab(signal)
+        elif isinstance(signal, NcVnfEnd):
+            self._on_vnf_end(signal)
+        elif isinstance(signal, NcStart):
+            pass  # meaningful to source applications; a relay VNF is driven by traffic
+        # NC_VNF_START is consumed by the controller itself.
+
+    def _on_settings(self, signal: NcSettings) -> None:
+        for session_id, role_name in signal.roles:
+            config = self.session_configs.get(session_id, CodingConfig())
+            self.vnf.configure_session(session_id, VnfRole(role_name), config)
+        for session_id, next_hop, skip in signal.shapes:
+            self.vnf.set_hop_shape(session_id, next_hop, skip)
+        if not self.function_running:
+            # Starting the coding function takes ~376 ms; model it as an
+            # initial pause of the packet path.
+            self.vnf.scheduler.schedule(self.vnf_start_latency_s, self._function_started)
+
+    def _function_started(self) -> None:
+        self.function_running = True
+        self.started_at = self.vnf.scheduler.now
+        if self.pending_table is not None:
+            table, self.pending_table = self.pending_table, None
+            self._apply_table(table)
+
+    def _on_forward_tab(self, signal: NcForwardTab) -> None:
+        table = ForwardingTable.parse(signal.table_text)
+        if not self.function_running:
+            self.pending_table = table  # applied as soon as the function is up
+            return
+        self._apply_table(table)
+
+    def _apply_table(self, table: ForwardingTable) -> None:
+        pause = self.vnf.apply_forwarding_table(table)
+        self.applied_tables += 1
+        self.total_pause_s += pause
+
+    def _on_vnf_end(self, signal: NcVnfEnd) -> None:
+        self.function_running = False
+        self.bus.unregister(self.vnf.name)
+        if self.on_shutdown is not None:
+            self.on_shutdown(self)

@@ -1,0 +1,227 @@
+"""From plan to packets: instantiate a solved deployment as a live data plane.
+
+The optimizer (problem (2)) produces a :class:`DeploymentPlan` — VNF
+counts and conceptual flows.  This module builds the matching
+packet-level simulation, the step the butterfly harness wires by hand:
+
+- a :class:`~repro.net.topology.Topology` with the used links (plus
+  reverse control links for ACK/NACK traffic),
+- coding VNFs at each data center the plan populates, with
+  :class:`~repro.core.vnf.VnfDispatcher` front-ends where a data center
+  runs several instances (generation-keyed dispatch, §IV-A),
+- per-session roles: RECODER where flows of the session merge, plain
+  FORWARDER elsewhere ("in the case where only one flow of a session
+  arrives at a data center, direct forwarding is sufficient"),
+- output shaping at merge points derived from the flow rates (skip the
+  fraction of each generation the out-link is not allocated),
+- forwarding tables derived from the actual link rates f_m(e),
+- an :class:`~repro.apps.file_transfer.NcSourceApp` per session paced
+  by the source's conceptual-flow shares, and a decoding receiver app
+  per destination.
+
+This is what lets an end-to-end test assert that the rate the LP
+promised is the rate the packet level delivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import networkx as nx
+import numpy as np
+
+from repro.apps.file_transfer import NcReceiverApp, NcSourceApp
+from repro.core.deployment import DeploymentPlan
+from repro.core.forwarding import ForwardingTable
+from repro.core.session import MulticastSession
+from repro.core.vnf import CodingVnf, VnfDispatcher, VnfRole
+from repro.net.topology import LinkSpec, Topology
+
+CONTROL_LINK_MBPS = 5.0
+
+
+@dataclass
+class LiveDeployment:
+    """A running packet-level instantiation of a deployment plan."""
+
+    topology: Topology
+    sources: dict = dataclass_field(default_factory=dict)    # session id -> NcSourceApp
+    receivers: dict = dataclass_field(default_factory=dict)  # (session id, node) -> NcReceiverApp
+    vnfs: dict = dataclass_field(default_factory=dict)       # dc name -> list[CodingVnf]
+    dispatchers: dict = dataclass_field(default_factory=dict)
+    # dc name -> {session id: (role, [next hops], {hop: skip})}; what the
+    # control plane must configure when configure=False was used.
+    intended: dict = dataclass_field(default_factory=dict)
+
+    def start(self) -> None:
+        for source in self.sources.values():
+            source.start()
+
+    def run(self, duration_s: float) -> None:
+        self.topology.run(until=duration_s)
+
+    def session_throughput_mbps(self, session_id: int, start_s: float = 0.0) -> float:
+        """Min over the session's receivers of measured goodput."""
+        rates = [
+            app.goodput_mbps(start_s=start_s)
+            for (sid, _), app in self.receivers.items()
+            if sid == session_id
+        ]
+        if not rates:
+            raise KeyError(f"no receivers for session {session_id}")
+        return min(rates)
+
+
+def build_data_plane(
+    plan: DeploymentPlan,
+    graph: nx.DiGraph,
+    sessions: list,
+    payload_mode: str = "coefficients-only",
+    rate_fraction: float = 1.0,
+    queue_bytes: int = 48 * 1024,
+    jitter_s: float = 0.003,
+    vnf_coding_mbps: float = 900.0,
+    seed: int = 1,
+    scheduler=None,
+    configure: bool = True,
+) -> LiveDeployment:
+    """Instantiate ``plan`` over ``graph`` for the given sessions.
+
+    ``rate_fraction`` scales every session's offered rate below its λ
+    (head-room for the pipeline's startup transient); link capacities
+    come from the graph's ``capacity_mbps``/``delay_ms`` attributes.
+    ``configure=False`` builds the plumbing but leaves the VNFs blank
+    (their intended configuration is recorded in ``.intended``) — an
+    orchestrator then configures them over the signal bus, the way the
+    real control plane would.
+    """
+    if not 0 < rate_fraction <= 1.0:
+        raise ValueError("rate_fraction must be in (0, 1]")
+    sessions_by_id = {s.session_id: s for s in sessions}
+    rng = np.random.default_rng(seed)
+    topo = Topology(rng=rng) if scheduler is None else Topology(scheduler=scheduler, rng=rng)
+
+    # -- which links the plan actually uses --------------------------------
+    used_edges: set = set()
+    for sid, decomposition in plan.decompositions.items():
+        if sid not in sessions_by_id:
+            continue
+        for edge, rate in decomposition.link_rates().items():
+            if rate > 1e-9:
+                used_edges.add(edge)
+    used_nodes = {n for e in used_edges for n in e}
+
+    # -- nodes: dispatched VNF clusters at data centers, hosts elsewhere ----
+    for name in sorted(used_nodes):
+        count = plan.vnf_counts.get(name, 0)
+        if count <= 0:
+            topo.add_node(name)
+            continue
+        # Every instance carries the data center's name: the dispatcher
+        # owns the topology slot, instances sit behind it and send on the
+        # shared outgoing links (their datagrams carry the DC as source).
+        instances = [
+            CodingVnf(
+                name,
+                topo.scheduler,
+                coding_capacity_mbps=vnf_coding_mbps,
+                rng=rng,
+                payload_mode=payload_mode,
+            )
+            for _ in range(count)
+        ]
+        if count == 1:
+            topo.add_node(instances[0])
+        else:
+            dispatcher = VnfDispatcher(name, topo.scheduler)
+            for vnf in instances:
+                dispatcher.add_instance(vnf)
+            topo.add_node(dispatcher)
+
+    deployment = LiveDeployment(topology=topo)
+    for name in sorted(used_nodes):
+        count = plan.vnf_counts.get(name, 0)
+        if count > 0:
+            node = topo.get(name)
+            if isinstance(node, VnfDispatcher):
+                deployment.dispatchers[name] = node
+                deployment.vnfs[name] = list(node.instances)
+            else:
+                deployment.vnfs[name] = [node]
+
+    # -- links: used data links + reverse control links ---------------------
+    for (u, v) in sorted(used_edges):
+        data = graph.edges[u, v]
+        topo.add_link(
+            LinkSpec(u, v, data["capacity_mbps"], data["delay_ms"], queue_bytes=queue_bytes, jitter_s=jitter_s)
+        )
+        if (v, u) not in used_edges:
+            topo.add_link(LinkSpec(v, u, CONTROL_LINK_MBPS, data["delay_ms"], queue_bytes=queue_bytes))
+    # Multi-instance clusters need each instance wired to the out-links.
+    for name, vnfs in deployment.vnfs.items():
+        if len(vnfs) <= 1:
+            continue
+        for (u, v), link in topo.links.items():
+            if u == name:
+                for vnf in vnfs:
+                    vnf.attach_out(link)
+
+    # -- per-session configuration ------------------------------------------
+    for sid, decomposition in plan.decompositions.items():
+        session = sessions_by_id.get(sid)
+        if session is None:
+            continue
+        link_rates = {e: r for e, r in decomposition.link_rates().items() if r > 1e-9}
+        if not link_rates:
+            continue
+        inflow: dict[str, float] = {}
+        next_hops: dict[str, list] = {}
+        for (u, v), rate in link_rates.items():
+            inflow[v] = inflow.get(v, 0.0) + rate
+            next_hops.setdefault(u, []).append(v)
+
+        k = session.coding.blocks_per_generation
+        for name, vnfs in deployment.vnfs.items():
+            hops = sorted(next_hops.get(name, []))
+            if not hops:
+                continue
+            incoming = [e for e in link_rates if e[1] == name]
+            role = VnfRole.RECODER if len(incoming) > 1 else VnfRole.FORWARDER
+            node_in = inflow.get(name, 0.0)
+            shapes: dict = {}
+            if role is VnfRole.RECODER and node_in > 0:
+                for hop in hops:
+                    out_rate = link_rates[(name, hop)]
+                    if out_rate < node_in - 1e-9:
+                        # Skip the head of each generation so every
+                        # emitted recode mixes the merged branches.
+                        skip = int(round(k * (node_in - out_rate) / node_in))
+                        shapes[hop] = max(1, min(k - 1, skip))
+            deployment.intended.setdefault(name, {})[sid] = (role, hops, shapes)
+            if configure:
+                for vnf in vnfs:
+                    vnf.configure_session(sid, role, session.coding)
+                    vnf.forwarding_table = vnf.forwarding_table.copy()
+                    vnf.forwarding_table.set_next_hops(sid, hops)
+                    for hop, skip in shapes.items():
+                        vnf.set_hop_shape(sid, hop, skip)
+
+        # Receivers decode; the source paces per its conceptual shares.
+        for receiver in session.receivers:
+            if any(e[1] == receiver for e in link_rates):
+                deployment.receivers[(sid, receiver)] = NcReceiverApp(
+                    topo.get(receiver), session, payload_mode=payload_mode
+                )
+        source_shares = {
+            v: rate * rate_fraction for (u, v), rate in link_rates.items() if u == session.source
+        }
+        if source_shares:
+            deployment.sources[sid] = NcSourceApp(
+                topo.get(session.source),
+                session,
+                link_shares=source_shares,
+                data_rate_mbps=max(plan.lambdas.get(sid, 0.0) * rate_fraction, 1e-3),
+                payload_mode=payload_mode,
+                rng=rng,
+            )
+    return deployment

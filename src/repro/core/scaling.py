@@ -1,0 +1,296 @@
+"""Dynamic scaling algorithms (paper §IV-B, Alg. 1–3).
+
+The controller reacts to three classes of events:
+
+1. **Bandwidth variation** (Alg. 1) — iperf-style samples of each data
+   center's per-VNF in/out caps.  A change larger than ρ1 % that lasts
+   for τ1 triggers a re-solve of problem (2) scoped to the affected
+   sessions; a capacity *increase* is adopted only when the objective
+   improves (throughput gain worth the extra VNFs), a *decrease* is
+   always applied (the old routing no longer fits).
+2. **Delay changes** (Alg. 2) — ping samples per link.  A sustained
+   change beyond ρ2 %/τ2 re-runs feasible-path enumeration (paths drop
+   out past L^max or reappear) and re-solves the affected sessions.
+3. **Session/receiver arrivals and departures** (Alg. 3) — applied
+   immediately (no threshold), delegated to the controller, which on
+   departures compares *grow-the-flows* (g1) against
+   *shrink-the-fleet* (g2).
+
+Thresholding is a per-key state machine: a deviation from the reference
+value must persist for the hold time before it fires, and brief spikes
+reset cleanly, "to avoid unnecessary scaling in cases of brief spikes"
+(§IV-B Discussions).  The same mechanism powers idle-VNF consolidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.core.controller import Controller
+from repro.core.session import MulticastSession
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Thresholds: ρ (percent change) and τ (hold seconds) per trigger."""
+
+    rho1_percent: float = 5.0      # bandwidth change threshold
+    tau1_s: float = 600.0          # bandwidth hold time
+    rho2_percent: float = 5.0      # delay change threshold
+    tau2_s: float = 600.0          # delay hold time
+    idle_hold_s: float = 600.0     # under-utilization consolidation hold
+
+
+@dataclass
+class _ThresholdState:
+    """Deviation-persistence tracker for one monitored quantity."""
+
+    reference: float
+    deviating_since: float | None = None
+    last_value: float = 0.0
+
+    def update(self, value: float, now: float, rho_percent: float, tau_s: float) -> bool:
+        """Feed a sample; True when the deviation has persisted for τ."""
+        self.last_value = value
+        if self.reference == 0:
+            changed = value != 0
+        else:
+            changed = abs(value - self.reference) / abs(self.reference) * 100.0 > rho_percent
+        if not changed:
+            self.deviating_since = None
+            return False
+        if self.deviating_since is None:
+            self.deviating_since = now
+            return False
+        return now - self.deviating_since >= tau_s
+
+    def accept(self, value: float) -> None:
+        """Adopt the new value as the reference after a trigger fired."""
+        self.reference = value
+        self.deviating_since = None
+
+
+@dataclass
+class ScalingEvent:
+    """Record of one scaling decision, for experiment inspection."""
+
+    time: float
+    kind: str
+    detail: dict = dataclass_field(default_factory=dict)
+
+
+class ScalingEngine:
+    """Runs Alg. 1–3 on top of a :class:`Controller`."""
+
+    def __init__(self, controller: Controller, config: ScalingConfig | None = None):
+        self.controller = controller
+        self.config = config if config is not None else ScalingConfig()
+        self._bandwidth_state: dict[tuple, _ThresholdState] = {}
+        self._delay_state: dict[tuple, _ThresholdState] = {}
+        self._idle_since: dict[str, float] = {}
+        self.events: list[ScalingEvent] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.controller.scheduler.now
+
+    def _current_objective(self) -> float:
+        c = self.controller
+        return c.total_throughput_mbps() - c.alpha * sum(c.required_vnf_counts().values())
+
+    def _affected_sessions(self, datacenter: str | None = None, edge: tuple | None = None) -> list:
+        """Session ids whose routed flows touch a data center or link."""
+        affected = []
+        for sid, decomposition in self.controller.decompositions.items():
+            for (u, v), rate in decomposition.link_rates().items():
+                if rate <= 1e-9:
+                    continue
+                if datacenter is not None and datacenter in (u, v):
+                    affected.append(sid)
+                    break
+                if edge is not None and (u, v) == edge:
+                    affected.append(sid)
+                    break
+        return affected
+
+    def _log(self, kind: str, **detail) -> ScalingEvent:
+        event = ScalingEvent(time=self._now(), kind=kind, detail=detail)
+        self.events.append(event)
+        return event
+
+    # -- Alg. 1: bandwidth variation ------------------------------------------
+
+    def on_bandwidth_sample(self, datacenter: str, inbound_mbps: float, outbound_mbps: float) -> bool:
+        """Feed one (B_in, B_out) sample; returns True if a re-solve fired."""
+        now = self._now()
+        fired = False
+        for direction, value in (("in", inbound_mbps), ("out", outbound_mbps)):
+            key = (datacenter, direction)
+            state = self._bandwidth_state.get(key)
+            if state is None:
+                dc = self.controller.datacenters[datacenter]
+                reference = dc.inbound_mbps if direction == "in" else dc.outbound_mbps
+                state = self._bandwidth_state[key] = _ThresholdState(reference=reference)
+            if state.update(value, now, self.config.rho1_percent, self.config.tau1_s):
+                fired = True
+        if not fired:
+            return False
+        return self._apply_bandwidth_change(datacenter, inbound_mbps, outbound_mbps)
+
+    def _apply_bandwidth_change(self, datacenter: str, inbound_mbps: float, outbound_mbps: float) -> bool:
+        c = self.controller
+        dc = c.datacenters[datacenter]
+        old_caps = (dc.inbound_mbps, dc.outbound_mbps)
+        decrease = inbound_mbps < old_caps[0] or outbound_mbps < old_caps[1]
+        old_objective = self._current_objective()
+        old_state = self._snapshot()
+
+        c.observe_datacenter_caps(datacenter, inbound_mbps, outbound_mbps)
+        affected = self._affected_sessions(datacenter=datacenter)
+        if not affected:
+            self._accept_bandwidth(datacenter, inbound_mbps, outbound_mbps)
+            self._log("bandwidth", datacenter=datacenter, action="no-affected-sessions")
+            return False
+        c._resolve_sessions(affected, reconcile=False)
+        new_objective = self._current_objective()
+        if decrease or new_objective > old_objective + 1e-9:
+            c.reconcile_fleet()
+            c.push_forwarding_tables()
+            self._accept_bandwidth(datacenter, inbound_mbps, outbound_mbps)
+            self._log(
+                "bandwidth",
+                datacenter=datacenter,
+                action="rescaled",
+                old_objective=old_objective,
+                new_objective=new_objective,
+            )
+            return True
+        # Scale-out would not pay off: revert to the previous routing.
+        self._restore(old_state)
+        c.observe_datacenter_caps(datacenter, *old_caps)
+        self._accept_bandwidth(datacenter, inbound_mbps, outbound_mbps)
+        self._log(
+            "bandwidth",
+            datacenter=datacenter,
+            action="kept",
+            old_objective=old_objective,
+            new_objective=new_objective,
+        )
+        return False
+
+    def _accept_bandwidth(self, datacenter: str, inbound_mbps: float, outbound_mbps: float) -> None:
+        for direction, value in (("in", inbound_mbps), ("out", outbound_mbps)):
+            state = self._bandwidth_state.get((datacenter, direction))
+            if state is not None:
+                state.accept(value)
+
+    # -- Alg. 2: delay changes ----------------------------------------------------
+
+    def on_delay_sample(self, edge: tuple, delay_ms: float) -> bool:
+        """Feed one ping sample for a link; returns True if a re-solve fired."""
+        now = self._now()
+        state = self._delay_state.get(edge)
+        if state is None:
+            reference = float(self.controller.graph.edges[edge]["delay_ms"])
+            state = self._delay_state[edge] = _ThresholdState(reference=reference)
+        if not state.update(delay_ms, now, self.config.rho2_percent, self.config.tau2_s):
+            return False
+        return self._apply_delay_change(edge, delay_ms)
+
+    def _apply_delay_change(self, edge: tuple, delay_ms: float) -> bool:
+        c = self.controller
+        increase = delay_ms > float(c.graph.edges[edge]["delay_ms"])
+        c.observe_link(edge, delay_ms=delay_ms)
+        state = self._delay_state.get(edge)
+        if state is not None:
+            state.accept(delay_ms)
+        # A delay increase can invalidate in-use paths; a decrease can open
+        # new ones.  Either way the affected sessions' path sets P^k_m are
+        # rebuilt inside the re-solve (build_demand reads the live graph).
+        affected = self._affected_sessions(edge=edge)
+        if not increase:
+            # New feasible paths may help *any* session between these
+            # regions; re-solve sessions that could use the improved link.
+            affected = sorted(set(affected) | set(self._sessions_near(edge)))
+        if not affected:
+            self._log("delay", edge=edge, action="no-affected-sessions")
+            return False
+        c._resolve_sessions(affected, reconcile=False)
+        c.reconcile_fleet()
+        c.push_forwarding_tables()
+        self._log("delay", edge=edge, action="rescaled", delay_ms=delay_ms)
+        return True
+
+    def _sessions_near(self, edge: tuple) -> list:
+        """Sessions whose endpoints could route through the given link."""
+        u, v = edge
+        out = []
+        for sid, session in self.controller.sessions.items():
+            nodes = {session.source, *session.receivers}
+            if u in self.controller.datacenters and v in self.controller.datacenters:
+                out.append(sid)
+            elif nodes & {u, v}:
+                out.append(sid)
+        return out
+
+    # -- Alg. 3: session / receiver churn -------------------------------------------
+
+    def on_session_join(self, session: MulticastSession):
+        plan = self.controller.add_session(session)
+        self.controller.push_forwarding_tables()
+        self._log("session-join", session=session.session_id, rate=plan.lambdas.get(session.session_id, 0.0))
+        return plan
+
+    def on_session_quit(self, session_id: int) -> dict:
+        result = self.controller.remove_session(session_id)
+        self.controller.push_forwarding_tables()
+        self._log("session-quit", session=session_id, **result)
+        return result
+
+    def on_receiver_join(self, session_id: int, receiver: str):
+        plan = self.controller.add_receiver(session_id, receiver)
+        self.controller.push_forwarding_tables()
+        self._log("receiver-join", session=session_id, receiver=receiver)
+        return plan
+
+    def on_receiver_quit(self, session_id: int, receiver: str) -> dict:
+        result = self.controller.remove_receiver(session_id, receiver)
+        self.controller.push_forwarding_tables()
+        self._log("receiver-quit", session=session_id, receiver=receiver, **result)
+        return result
+
+    # -- idle consolidation (§IV-B Discussions) ------------------------------------------
+
+    def check_utilization(self) -> list:
+        """Retire VNFs at data centers over-provisioned for idle_hold_s.
+
+        Returns the list of data centers consolidated this call.
+        """
+        now = self._now()
+        required = self.controller.required_vnf_counts()
+        consolidated = []
+        for name, state in self.controller.fleet.items():
+            active = len(state.running_or_pending())
+            if active > required.get(name, 0):
+                since = self._idle_since.setdefault(name, now)
+                if now - since >= self.config.idle_hold_s:
+                    consolidated.append(name)
+                    self._idle_since.pop(name, None)
+            else:
+                self._idle_since.pop(name, None)
+        if consolidated:
+            self.controller.reconcile_fleet()
+            self._log("consolidation", datacenters=consolidated)
+        return consolidated
+
+    # -- snapshot/rollback -----------------------------------------------------------------
+
+    def _snapshot(self) -> dict:
+        c = self.controller
+        return {"lambdas": dict(c.lambdas), "decompositions": dict(c.decompositions)}
+
+    def _restore(self, snapshot: dict) -> None:
+        c = self.controller
+        c.lambdas = dict(snapshot["lambdas"])
+        c.decompositions = dict(snapshot["decompositions"])

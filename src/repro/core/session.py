@@ -1,0 +1,105 @@
+"""Multicast sessions: the unit of service the system manages.
+
+A session has one source and K ≥ 1 receivers (K = 1 is plain unicast,
+"subsuming unicast as a special case").  Each session carries a maximum
+tolerable end-to-end delay L^max_m — small for live streaming and
+conferencing, large for file download — which bounds the feasible relay
+paths, and a coding configuration (generation/block sizes, field,
+redundancy) distributed to VNFs via NC_SETTINGS at initialization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.gf import GF256, GaloisField
+from repro.rlnc.generation import DEFAULT_BLOCK_BYTES, DEFAULT_BLOCKS_PER_GENERATION
+from repro.rlnc.redundancy import RedundancyPolicy
+
+_session_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class CodingConfig:
+    """Per-session coding parameters (uniform across the system, §III-B)."""
+
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    blocks_per_generation: int = DEFAULT_BLOCKS_PER_GENERATION
+    buffer_generations: int = 1024
+    redundancy: RedundancyPolicy = field(default_factory=RedundancyPolicy)
+    field_order: int = 256
+
+    def __post_init__(self):
+        if self.block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        if not 1 <= self.blocks_per_generation <= 255:
+            raise ValueError("blocks_per_generation must be in [1, 255] (one header byte per coefficient)")
+        if self.buffer_generations <= 0:
+            raise ValueError("buffer_generations must be positive")
+
+    @property
+    def galois_field(self) -> GaloisField:
+        if self.field_order == 256:
+            return GF256
+        return GaloisField(self.field_order.bit_length() - 1)
+
+    @property
+    def generation_bytes(self) -> int:
+        """Generation size in the paper's sense (bytes per generation)."""
+        return self.block_bytes * self.blocks_per_generation
+
+    def packets_per_generation(self) -> int:
+        """Packets a coding node emits per generation (k + redundancy)."""
+        return self.redundancy.packets_per_generation(self.blocks_per_generation)
+
+
+@dataclass
+class MulticastSession:
+    """One multicast session owned by the service provider."""
+
+    source: str
+    receivers: list
+    max_delay_ms: float = 150.0
+    fixed_rate_mbps: float | None = None
+    coding: CodingConfig = field(default_factory=CodingConfig)
+    session_id: int = field(default_factory=lambda: next(_session_ids))
+
+    def __post_init__(self):
+        self.receivers = list(self.receivers)
+        if not self.receivers:
+            raise ValueError("a session needs at least one receiver")
+        if self.source in self.receivers:
+            raise ValueError("the source cannot also be a receiver")
+        if len(set(self.receivers)) != len(self.receivers):
+            raise ValueError("duplicate receivers")
+        if self.max_delay_ms <= 0:
+            raise ValueError("max tolerable delay must be positive")
+        if self.fixed_rate_mbps is not None and self.fixed_rate_mbps <= 0:
+            raise ValueError("fixed rate must be positive when given")
+
+    @property
+    def is_unicast(self) -> bool:
+        return len(self.receivers) == 1
+
+    def add_receiver(self, receiver: str) -> None:
+        """Receiver join (Alg. 3 RECEIVER JOIN trigger)."""
+        if receiver in self.receivers:
+            raise ValueError(f"{receiver} is already in session {self.session_id}")
+        if receiver == self.source:
+            raise ValueError("the source cannot join as a receiver")
+        self.receivers.append(receiver)
+
+    def remove_receiver(self, receiver: str) -> None:
+        """Receiver departure (Alg. 3 RECEIVER QUIT trigger)."""
+        if receiver not in self.receivers:
+            raise ValueError(f"{receiver} is not in session {self.session_id}")
+        if len(self.receivers) == 1:
+            raise ValueError("removing the last receiver would empty the session; terminate it instead")
+        self.receivers.remove(receiver)
+
+    def __repr__(self) -> str:
+        return (
+            f"MulticastSession(#{self.session_id}, {self.source} -> {self.receivers}, "
+            f"Lmax={self.max_delay_ms} ms)"
+        )

@@ -1,0 +1,134 @@
+"""Control-plane signal protocol (paper §III-A).
+
+Five signal types travel from the controller to daemons (one,
+NC_VNF_START, the controller sends to itself to trigger cloud API
+calls):
+
+========================  ====================================================
+``NC_START``              begin network-coded transmission for a session
+``NC_VNF_START``          launch N new VNFs (VMs) in a data center
+``NC_VNF_END``            VNF no longer needed; shut down after τ
+``NC_FORWARD_TAB``        replace a VNF's forwarding table
+``NC_SETTINGS``           VNF roles, session ids, UDP ports, generation/block
+                          sizes — the initialization bundle
+========================  ====================================================
+
+:class:`SignalBus` delivers signals with a configurable control-plane
+latency (controller → daemon RTTs are real in the paper's testbed) and
+keeps a full log for experiments to assert on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.events import EventScheduler
+
+_signal_seq = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Signal:
+    """Base class: every signal is addressed to a daemon by node name."""
+
+    target: str
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class NcStart(Signal):
+    """Start network-coding-enabled transmission of a session."""
+
+    session_id: int = 0
+
+
+@dataclass(frozen=True)
+class NcVnfStart(Signal):
+    """Launch ``count`` new VNFs (VMs) in data center ``datacenter``."""
+
+    datacenter: str = ""
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class NcVnfEnd(Signal):
+    """The VNF is no longer used; shut down in τ seconds."""
+
+    vnf_name: str = ""
+    tau_s: float = 600.0
+
+
+@dataclass(frozen=True)
+class NcForwardTab(Signal):
+    """Push a new forwarding table (serialized text, §III-A)."""
+
+    table_text: str = ""
+
+
+@dataclass(frozen=True)
+class NcSettings(Signal):
+    """Initial settings: roles, session ids, ports, generation/block sizes.
+
+    ``shapes`` carries the controller's output-shaping directives for
+    merge points: ((session_id, next_hop, skip_arrivals), ...).
+    """
+
+    session_ids: tuple = ()
+    roles: tuple = ()  # (session_id, role) pairs
+    udp_port: int = 0
+    generation_bytes: int = 0
+    block_bytes: int = 0
+    shapes: tuple = ()
+
+
+@dataclass
+class SignalRecord:
+    """One delivered (or pending) signal, for experiment assertions."""
+
+    seq: int
+    sent_at: float
+    signal: Signal
+    delivered_at: float | None = None
+
+
+class SignalBus:
+    """Delivers control signals to registered daemons with latency."""
+
+    def __init__(self, scheduler: EventScheduler, latency_s: float = 0.05):
+        if latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        self.scheduler = scheduler
+        self.latency_s = latency_s
+        self._handlers: dict[str, Callable[[Signal], None]] = {}
+        self.log: list[SignalRecord] = []
+
+    def register(self, name: str, handler: Callable[[Signal], None]) -> None:
+        """Attach a daemon's signal handler under its node name."""
+        if name in self._handlers:
+            raise ValueError(f"daemon {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def send(self, signal: Signal) -> SignalRecord:
+        """Dispatch a signal; delivery happens after the bus latency."""
+        record = SignalRecord(seq=next(_signal_seq), sent_at=self.scheduler.now, signal=signal)
+        self.log.append(record)
+        self.scheduler.schedule(self.latency_s, self._deliver, record)
+        return record
+
+    def _deliver(self, record: SignalRecord) -> None:
+        handler = self._handlers.get(record.signal.target)
+        record.delivered_at = self.scheduler.now
+        if handler is not None:
+            handler(record.signal)
+
+    def sent_of_kind(self, kind: str) -> list[SignalRecord]:
+        """All log records whose signal class name matches ``kind``."""
+        return [r for r in self.log if r.signal.kind == kind]

@@ -1,0 +1,355 @@
+"""The data-plane coding VNF (paper §III-B2).
+
+A :class:`CodingVnf` is a simulated node running the network coding
+function.  Per session it acts in one of four roles:
+
+- ``FORWARDER`` — pass packets through unchanged (the controller assigns
+  this when only one flow of the session reaches the data center, where
+  coding would be pointless).
+- ``RECODER`` — the pipelined relay: buffer, emit a fresh random
+  combination per arrival, forward to the next hops in the forwarding
+  table (an *independent* recode per next hop, so downstream nodes get
+  diverse combinations).
+- ``DECODER`` — progressive Gaussian elimination; on completing a
+  generation, deliver it to the local receiver application.
+- ``ENCODER`` — reserved for source-side use (source apps typically use
+  :class:`repro.rlnc.Encoder` directly; a VNF encoder re-codes
+  systematic input into dense combinations).
+
+Packet processing is modelled as a single-server queue whose per-packet
+service time is derived from the VNF's coding capacity C(v) and its NIC
+model, so a VNF saturates realistically instead of having infinite
+throughput.  Forwarding-table reloads pause the function (SIGUSR1
+cycle, §III-A); packets arriving during the pause are queued and
+processed on resume.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+from repro.core.forwarding import ForwardingTable, ForwardingUpdateModel
+from repro.core.session import CodingConfig
+from repro.net.buffer import GenerationBuffer
+from repro.net.events import EventScheduler
+from repro.net.nic import NicModel, PollModeNic
+from repro.net.node import Node
+from repro.net.packet import Datagram
+from repro.rlnc.decoder import Decoder
+from repro.rlnc.generation import Generation
+from repro.rlnc.packet import CodedPacket
+from repro.rlnc.recoder import Recoder
+
+NC_PORT = 52017  # the designated UDP port coding VNFs listen on
+
+
+class VnfRole(enum.Enum):
+    ENCODER = "encoder"
+    RECODER = "recoder"
+    DECODER = "decoder"
+    FORWARDER = "forwarder"
+
+
+class CodingVnf(Node):
+    """One coding function instance on one VM."""
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: EventScheduler,
+        coding_capacity_mbps: float = 900.0,
+        nic: NicModel | None = None,
+        update_model: ForwardingUpdateModel | None = None,
+        rng: np.random.Generator | None = None,
+        payload_mode: str = "full",
+        coding_overhead_s: float = 90e-6,
+    ):
+        super().__init__(name, scheduler)
+        if coding_capacity_mbps <= 0:
+            raise ValueError("coding capacity must be positive")
+        if payload_mode not in ("full", "coefficients-only"):
+            raise ValueError("payload_mode must be 'full' or 'coefficients-only'")
+        if coding_overhead_s < 0:
+            raise ValueError("coding overhead cannot be negative")
+        self.coding_capacity_mbps = coding_capacity_mbps
+        self.coding_overhead_s = coding_overhead_s
+        self.nic = nic if nic is not None else PollModeNic()
+        self.update_model = update_model if update_model is not None else ForwardingUpdateModel()
+        self.payload_mode = payload_mode
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+        self.roles: dict[int, VnfRole] = {}
+        self.configs: dict[int, CodingConfig] = {}
+        # Per-hop output shaping.  By default a recoder emits one packet
+        # per arrival per next hop (the paper's pipelining).  At a merge
+        # point whose out-link is allocated less than its inflow, the
+        # controller installs a shape (skip S arrivals, then emit up to E
+        # packets per generation): skipping the first arrivals guarantees
+        # the first recode already mixes both incoming branches, and the
+        # emission cap matches the conceptual-flow allocation instead of
+        # flooding the link.
+        self._hop_shapes: dict[tuple, tuple] = {}   # (session, hop) -> (skip, emit)
+        self._hop_progress: dict[tuple, list] = {}  # (session, hop, generation) -> [arrivals, emitted]
+        self.forwarding_table = ForwardingTable()
+        self.buffers: dict[int, GenerationBuffer] = {}
+        self._recoders: dict[tuple, Recoder] = {}
+        self._decoders: dict[tuple, Decoder] = {}
+        self._delivery: dict[int, Callable[[int, Generation], None]] = {}
+
+        self._busy_until = 0.0
+        self._paused_until = 0.0
+        self._pause_queue: list[Datagram] = []
+        self.processed_packets = 0
+        self.emitted_packets = 0
+        self.decoded_generations = 0
+
+        self.listen(NC_PORT, self._on_data)
+
+    # -- configuration (driven by the daemon via NC_SETTINGS etc.) -------
+
+    def configure_session(
+        self,
+        session_id: int,
+        role: VnfRole,
+        config: CodingConfig,
+        deliver: Callable[[int, Generation], None] | None = None,
+    ) -> None:
+        """Install a session's role and coding parameters."""
+        self.roles[session_id] = role
+        self.configs[session_id] = config
+        self.buffers[session_id] = GenerationBuffer(config.buffer_generations)
+        if deliver is not None:
+            self._delivery[session_id] = deliver
+
+    def set_hop_shape(
+        self, session_id: int, next_hop: str, skip_arrivals: int, emit_per_generation: int | None = None
+    ) -> None:
+        """Shape a recoder's output toward one next hop.
+
+        Per generation: ignore the first ``skip_arrivals`` packets, then
+        emit one fresh recode per arrival (up to ``emit_per_generation``
+        when given; unlimited otherwise).  A merge point whose inflow is
+        n packets per generation but whose out-link is allocated n − s of
+        them uses ``skip_arrivals = s``: the skipped head guarantees
+        every emitted recode mixes both incoming branches, and the
+        steady-state emission count follows from the arrivals.  Leaving
+        the cap off lets late extra arrivals — end-to-end repair packets
+        — flow through instead of being silently absorbed.
+        """
+        if skip_arrivals < 0 or (emit_per_generation is not None and emit_per_generation < 0):
+            raise ValueError("shape parameters cannot be negative")
+        self._hop_shapes[(session_id, next_hop)] = (skip_arrivals, emit_per_generation)
+
+    def drop_session(self, session_id: int) -> None:
+        """Remove all state for a finished session."""
+        self.roles.pop(session_id, None)
+        self.configs.pop(session_id, None)
+        self.buffers.pop(session_id, None)
+        self._delivery.pop(session_id, None)
+        for key in [k for k in self._hop_shapes if k[0] == session_id]:
+            del self._hop_shapes[key]
+        for key in [k for k in self._hop_progress if k[0] == session_id]:
+            del self._hop_progress[key]
+        for key in [k for k in self._recoders if k[0] == session_id]:
+            del self._recoders[key]
+        for key in [k for k in self._decoders if k[0] == session_id]:
+            del self._decoders[key]
+
+    def apply_forwarding_table(self, new_table: ForwardingTable) -> float:
+        """Replace the forwarding table; returns the pause duration.
+
+        Models the SIGUSR1 pause/reload/resume cycle: the function stops
+        processing for the Tab. III-calibrated duration, then drains
+        packets that queued up meanwhile.
+        """
+        pause = self.update_model.pause_for_update(self.forwarding_table, new_table)
+        self.forwarding_table = new_table.copy()
+        if pause > 0:
+            resume_at = max(self.scheduler.now, self._paused_until) + pause
+            self._paused_until = resume_at
+            self.scheduler.schedule_at(resume_at, self._drain_pause_queue)
+        return pause
+
+    # -- the packet path ----------------------------------------------------
+
+    def inject(self, dgram: Datagram) -> None:
+        """Hand a datagram to the coding function (used by dispatchers)."""
+        self._on_data(dgram)
+
+    def _on_data(self, dgram: Datagram) -> None:
+        if self.scheduler.now < self._paused_until:
+            self._pause_queue.append(dgram)
+            return
+        self._process(dgram)
+
+    def _drain_pause_queue(self) -> None:
+        if self.scheduler.now < self._paused_until:
+            return  # a later reload extended the pause
+        queued, self._pause_queue = self._pause_queue, []
+        for dgram in queued:
+            self._process(dgram)
+
+    def _service_time(self, dgram: Datagram, role: VnfRole) -> float:
+        """Per-packet processing time: NIC I/O, plus coding cost for coding roles.
+
+        The coding term has a throughput component (wire bits over C(v))
+        and a fixed per-packet overhead (coefficient generation, GF setup
+        — the part of the Kodo pipeline that does not amortize), which is
+        what produces the paper's 0.9–1.5 % relayed-path delay increment.
+        """
+        service = self.nic.cpu_seconds_per_packet()
+        if role is not VnfRole.FORWARDER:
+            service += dgram.wire_bits / (self.coding_capacity_mbps * 1e6) + self.coding_overhead_s
+        return service
+
+    def _process(self, dgram: Datagram) -> None:
+        packet = dgram.payload
+        if not isinstance(packet, CodedPacket):
+            return  # not for the coding layer
+        role = self.roles.get(packet.session_id)
+        if role is None:
+            return  # unknown session: drop (no NC_SETTINGS received)
+        start = max(self.scheduler.now, self._busy_until)
+        finish = start + self._service_time(dgram, role)
+        self._busy_until = finish
+        self.scheduler.schedule_at(finish, self._handle_packet, packet, dgram.payload_bytes)
+
+    def _handle_packet(self, packet: CodedPacket, payload_bytes: int) -> None:
+        self.processed_packets += 1
+        role = self.roles[packet.session_id]
+        if role is VnfRole.FORWARDER:
+            self._forward(packet, payload_bytes)
+        elif role is VnfRole.RECODER or role is VnfRole.ENCODER:
+            self._recode_and_forward(packet, payload_bytes)
+        elif role is VnfRole.DECODER:
+            self._decode(packet)
+
+    def _forward(self, packet: CodedPacket, payload_bytes: int) -> None:
+        for hop in self.forwarding_table.next_hops(packet.session_id):
+            self.emitted_packets += 1
+            self.send(hop, packet, payload_bytes, dst_port=NC_PORT)
+
+    def _recode_and_forward(self, original: CodedPacket, payload_bytes: int) -> None:
+        config = self.configs[original.session_id]
+        buffer = self.buffers[original.session_id]
+        key = (original.session_id, original.generation_id)
+        recoder = self._recoders.get(key)
+        if recoder is None or original.generation_id not in buffer:
+            # New generation (or evicted): fresh recoder; FIFO-evict via
+            # the buffer, and drop the evicted generation's recoder.
+            recoder = Recoder(
+                original.session_id,
+                original.generation_id,
+                original.header.block_count,
+                field=config.galois_field,
+                rng=self._rng,
+            )
+            self._recoders[key] = recoder
+            before = set(buffer.generations())
+            buffer.add(original.generation_id, original)
+            evicted = before - set(buffer.generations())
+            for gen_id in evicted:
+                self._recoders.pop((original.session_id, gen_id), None)
+                for key in [k for k in self._hop_progress if k[0] == original.session_id and k[2] == gen_id]:
+                    del self._hop_progress[key]
+        else:
+            buffer.add(original.generation_id, original)
+        first = recoder.buffered == 0
+        recoder.add(original)
+        for hop in self.forwarding_table.next_hops(original.session_id):
+            shape = self._hop_shapes.get((original.session_id, hop))
+            if shape is None:
+                # Default pipelining: one packet out per packet in; the
+                # very first packet of a generation is forwarded verbatim.
+                out = original if first else recoder.recode()
+                self.emitted_packets += 1
+                self.send(hop, out, payload_bytes, dst_port=NC_PORT)
+                continue
+            skip, emit_cap = shape
+            key = (original.session_id, hop, original.generation_id)
+            progress = self._hop_progress.setdefault(key, [0, 0])
+            progress[0] += 1
+            if progress[0] > skip and (emit_cap is None or progress[1] < emit_cap):
+                progress[1] += 1
+                self.emitted_packets += 1
+                self.send(hop, recoder.recode(), payload_bytes, dst_port=NC_PORT)
+
+    def _decode(self, packet: CodedPacket) -> None:
+        config = self.configs[packet.session_id]
+        key = (packet.session_id, packet.generation_id)
+        decoder = self._decoders.get(key)
+        if decoder is None:
+            block_bytes = (
+                packet.payload.shape[0] if self.payload_mode == "coefficients-only" else config.block_bytes
+            )
+            decoder = Decoder(
+                packet.session_id,
+                packet.generation_id,
+                packet.header.block_count,
+                block_bytes,
+                field=config.galois_field,
+            )
+            self._decoders[key] = decoder
+        if decoder.complete:
+            return  # late redundant packet
+        decoder.add(packet)
+        if decoder.complete:
+            self.decoded_generations += 1
+            generation = decoder.decode()
+            deliver = self._delivery.get(packet.session_id)
+            if deliver is not None:
+                deliver(packet.session_id, generation)
+            # Also forward decoded payloads to any configured next hops
+            # (decoder VNFs "forward the recovered payload to the
+            # destinations", §III-A).
+            for hop in self.forwarding_table.next_hops(packet.session_id):
+                self.emitted_packets += 1
+                self.send(hop, generation, generation.size_bytes, dst_port=NC_PORT)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def is_paused(self) -> bool:
+        return self.scheduler.now < self._paused_until
+
+    def decoder_state(self, session_id: int, generation_id: int) -> Decoder | None:
+        return self._decoders.get((session_id, generation_id))
+
+
+class VnfDispatcher(Node):
+    """Entry point of a data center running several VNF instances.
+
+    When multiple VNFs are launched in one data center, incoming packets
+    are spread across them "based on session id and generation id.
+    Packets belonging to the same generation are dispatched to the same
+    VNF instance" (§IV-A) — necessary because recoding state is
+    per-generation.  The dispatcher hashes (session, generation) onto
+    the instance list; it represents intra-DC switching and adds no
+    delay of its own.
+    """
+
+    def __init__(self, name: str, scheduler: EventScheduler):
+        super().__init__(name, scheduler)
+        self.instances: list[CodingVnf] = []
+        self.listen(NC_PORT, self._dispatch)
+        self.dispatched = 0
+
+    def add_instance(self, vnf: CodingVnf) -> None:
+        self.instances.append(vnf)
+
+    def remove_instance(self, vnf: CodingVnf) -> None:
+        self.instances.remove(vnf)
+
+    def _dispatch(self, dgram: Datagram) -> None:
+        if not self.instances:
+            return
+        packet = dgram.payload
+        if isinstance(packet, CodedPacket):
+            index = hash((packet.session_id, packet.generation_id)) % len(self.instances)
+        else:
+            index = self.dispatched % len(self.instances)
+        self.dispatched += 1
+        self.instances[index].inject(dgram)

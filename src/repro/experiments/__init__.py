@@ -1,0 +1,39 @@
+"""Experiment harnesses: reusable runners behind tests and benchmarks.
+
+- :mod:`repro.experiments.butterfly` — the Fig. 6 butterfly testbed and
+  the packet-level NC / Non-NC / Direct-TCP runs (Fig. 4, 5, 7, 8, 9,
+  Tab. II).
+- :mod:`repro.experiments.dynamic` — the six-data-center flow-level
+  scenario with session/receiver churn, bandwidth cuts, L^max and α
+  sweeps (Fig. 10–13), plus launch/update overhead (§V-C5, Tab. III).
+"""
+
+from repro.experiments.butterfly import (
+    BUTTERFLY_DELAYS_MS,
+    BUTTERFLY_LINKS_MBPS,
+    ButterflyResult,
+    build_butterfly,
+    run_butterfly_nc,
+    run_butterfly_non_nc,
+    run_direct_tcp,
+)
+from repro.experiments.dynamic import (
+    SIX_DATACENTERS,
+    DynamicScenario,
+    build_six_dc_graph,
+    make_controller,
+)
+
+__all__ = [
+    "BUTTERFLY_LINKS_MBPS",
+    "BUTTERFLY_DELAYS_MS",
+    "ButterflyResult",
+    "build_butterfly",
+    "run_butterfly_nc",
+    "run_butterfly_non_nc",
+    "run_direct_tcp",
+    "SIX_DATACENTERS",
+    "build_six_dc_graph",
+    "make_controller",
+    "DynamicScenario",
+]

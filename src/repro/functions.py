@@ -1,0 +1,146 @@
+"""Pluggable relay functions: the paper's modularization direction.
+
+The conclusion sketches the future work this module implements:
+"Modularizing the system design ... so that our system can directly
+support a broad range of application scenarios beyond network coding,
+once the network coding related modules are replaced by other
+application-specific modules."
+
+A :class:`RelayFunction` is the per-(session, generation) packet
+processor a :class:`~repro.core.vnf.CodingVnf` runs.  Three
+implementations ship:
+
+- :class:`RlncRelayFunction` — the paper's network coding function
+  (wraps :class:`repro.rlnc.Recoder`);
+- :class:`ForwardRelayFunction` — plain store-and-forward (the Non-NC
+  data plane as a module rather than a role);
+- :class:`XorFecRelayFunction` — a parity-only FEC relay: forwards
+  originals and appends one XOR parity per generation — the classic
+  middle ground between forwarding and full RLNC (it repairs exactly
+  one loss, and only when every other packet of the generation was
+  seen).
+
+``make_relay_function`` is the registry the control plane can hand out
+by name (the NFV orchestration story: same deployment machinery, a
+different function image).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gf import GF256, GaloisField
+from repro.rlnc.header import NCHeader
+from repro.rlnc.packet import CodedPacket
+from repro.rlnc.recoder import Recoder
+
+
+class RelayFunction:
+    """Per-(session, generation) packet processor run by a relay VNF.
+
+    ``on_packet`` consumes one received packet and returns the list of
+    packets to emit toward each next hop (the VNF fans them out).
+    """
+
+    def on_packet(self, packet: CodedPacket) -> list:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class ForwardRelayFunction(RelayFunction):
+    """Store-and-forward: emit exactly what arrived."""
+
+    def on_packet(self, packet: CodedPacket) -> list:
+        return [packet]
+
+
+class RlncRelayFunction(RelayFunction):
+    """The paper's coding function: pipelined random recoding."""
+
+    def __init__(self, session_id: int, generation_id: int, block_count: int,
+                 field: GaloisField = GF256, rng: np.random.Generator | None = None):
+        self._recoder = Recoder(session_id, generation_id, block_count, field=field, rng=rng)
+
+    def on_packet(self, packet: CodedPacket) -> list:
+        return [self._recoder.on_packet(packet)]
+
+
+class XorFecRelayFunction(RelayFunction):
+    """Forward originals; append one XOR parity when a generation completes.
+
+    The parity is the GF(2) sum of every block seen for the generation —
+    decodable by any receiver missing exactly one of them.  Cheaper than
+    RLNC (no field multiplications) but strictly weaker: it adds at most
+    one degree of freedom per generation.
+    """
+
+    def __init__(self, session_id: int, generation_id: int, block_count: int):
+        self.session_id = session_id
+        self.generation_id = generation_id
+        self.block_count = block_count
+        self._coeff_acc: np.ndarray | None = None
+        self._payload_acc: np.ndarray | None = None
+        self._seen = 0
+        self._parity_sent = False
+
+    def on_packet(self, packet: CodedPacket) -> list:
+        if packet.session_id != self.session_id or packet.generation_id != self.generation_id:
+            raise ValueError("packet fed to the wrong generation's function")
+        coeffs = packet.coefficients.astype(np.uint8)
+        payload = packet.payload
+        if self._coeff_acc is None:
+            self._coeff_acc = coeffs.copy()
+            self._payload_acc = payload.copy()
+        else:
+            self._coeff_acc = np.bitwise_xor(self._coeff_acc, coeffs)
+            self._payload_acc = np.bitwise_xor(self._payload_acc, payload)
+        self._seen += 1
+        out = [packet]
+        if self._seen == self.block_count and not self._parity_sent:
+            self._parity_sent = True
+            out.append(
+                CodedPacket(
+                    header=NCHeader(
+                        session_id=self.session_id,
+                        generation_id=self.generation_id,
+                        coefficients=self._coeff_acc.copy(),
+                        systematic=False,
+                    ),
+                    payload=self._payload_acc.copy(),
+                )
+            )
+        return out
+
+
+FunctionFactory = Callable[[int, int, int], RelayFunction]
+
+_REGISTRY: dict[str, FunctionFactory] = {
+    "forward": lambda sid, gid, k: ForwardRelayFunction(),
+    "rlnc": lambda sid, gid, k: RlncRelayFunction(sid, gid, k),
+    "xor-fec": lambda sid, gid, k: XorFecRelayFunction(sid, gid, k),
+}
+
+
+def register_relay_function(name: str, factory: FunctionFactory) -> None:
+    """Add a custom function type to the registry (application modules)."""
+    if name in _REGISTRY:
+        raise ValueError(f"relay function {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def make_relay_function(name: str, session_id: int, generation_id: int, block_count: int) -> RelayFunction:
+    """Instantiate a registered function for one (session, generation)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown relay function {name!r}; registered: {sorted(_REGISTRY)}") from None
+    return factory(session_id, generation_id, block_count)
+
+
+def available_functions() -> list:
+    return sorted(_REGISTRY)

@@ -1,0 +1,178 @@
+"""Vectorized GF(2^w) arithmetic via log/antilog tables.
+
+A GF(2^w) element is a polynomial over GF(2) modulo a primitive
+polynomial.  Addition is XOR.  Multiplication uses discrete logarithms:
+every nonzero element is a power of a primitive element g, so
+``a * b = g^(log a + log b)``.  We precompute ``log`` and ``exp`` tables
+once per field and then multiply whole numpy arrays with two gathers,
+one add and one gather — this is what makes RLNC coding fast enough in
+Python (the repro-band note: "GF coding slow in pure Python; needs numpy
+tricks").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Primitive polynomials (with the leading x^w term included), the standard
+# choices used by Rijndael/Kodo-style libraries.
+_PRIMITIVE_POLY = {
+    4: 0x13,      # x^4 + x + 1
+    8: 0x11D,     # x^8 + x^4 + x^3 + x^2 + 1
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GaloisField:
+    """Arithmetic over GF(2^w), vectorized over numpy arrays.
+
+    Parameters
+    ----------
+    w:
+        Field exponent; one of 4, 8 or 16.  The field has ``2**w``
+        elements represented as Python ints / numpy integers in
+        ``[0, 2**w)``.
+
+    All binary operations accept scalars or numpy arrays (broadcasting
+    like numpy) and return numpy arrays of the field's dtype.
+    """
+
+    def __init__(self, w: int):
+        if w not in _PRIMITIVE_POLY:
+            raise ValueError(f"unsupported field exponent w={w}; choose from {sorted(_PRIMITIVE_POLY)}")
+        self.w = w
+        self.order = 1 << w
+        self.poly = _PRIMITIVE_POLY[w]
+        self.dtype = np.uint8 if w <= 8 else np.uint16
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        order = self.order
+        # exp table is doubled so that exp[log a + log b] never needs a
+        # modular reduction of the index.
+        exp = np.zeros(2 * order, dtype=self.dtype)
+        log = np.zeros(order, dtype=np.int32)
+        x = 1
+        for i in range(order - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & order:
+                x ^= self.poly
+        exp[order - 1 : 2 * (order - 1)] = exp[: order - 1]
+        self._exp = exp
+        self._log = log
+        # log[0] is undefined; keep it 0 but mask zeros explicitly in mul.
+
+    # -- element ops -------------------------------------------------
+
+    def add(self, a, b):
+        """Field addition (= subtraction): bitwise XOR."""
+        return np.bitwise_xor(np.asarray(a, dtype=self.dtype), np.asarray(b, dtype=self.dtype))
+
+    # In characteristic 2 subtraction is addition.
+    sub = add
+
+    def mul(self, a, b):
+        """Element-wise field multiplication via log/exp tables."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        out = self._exp[self._log[a] + self._log[b]]
+        zero = (a == 0) | (b == 0)
+        return np.where(zero, self.dtype(0), out)
+
+    def div(self, a, b):
+        """Element-wise field division ``a / b``; raises on division by zero."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero in GF(2^w)")
+        out = self._exp[self._log[a] - self._log[b] + (self.order - 1)]
+        return np.where(a == 0, self.dtype(0), out)
+
+    def inv(self, a):
+        """Multiplicative inverse; raises on zero."""
+        a = np.asarray(a, dtype=self.dtype)
+        if np.any(a == 0):
+            raise ZeroDivisionError("zero has no inverse in GF(2^w)")
+        return self._exp[(self.order - 1) - self._log[a]]
+
+    def pow(self, a, n: int):
+        """Raise field element(s) to an integer power ``n >= 0``."""
+        a = np.asarray(a, dtype=self.dtype)
+        if n < 0:
+            raise ValueError("negative exponents not supported; invert first")
+        if n == 0:
+            return np.ones_like(a)
+        loga = self._log[a] * (n % (self.order - 1))
+        out = self._exp[loga % (self.order - 1)]
+        return np.where(a == 0, self.dtype(0), out)
+
+    # -- bulk coding kernels -----------------------------------------
+
+    def scale(self, coeff, vec):
+        """Multiply a whole vector/matrix by a scalar coefficient."""
+        coeff = self.dtype(coeff)
+        vec = np.asarray(vec, dtype=self.dtype)
+        if coeff == 0:
+            return np.zeros_like(vec)
+        shift = int(self._log[coeff])
+        out = np.zeros_like(vec)
+        nz = vec != 0
+        out[nz] = self._exp[self._log[vec[nz]] + shift]
+        return out
+
+    def addmul(self, acc, coeff, vec):
+        """Return ``acc + coeff * vec`` — the inner loop of RLNC coding.
+
+        ``acc`` is not modified in place; callers accumulate with
+        ``acc = field.addmul(acc, c, block)``.
+        """
+        return self.add(acc, self.scale(coeff, vec))
+
+    def linear_combination(self, coeffs, blocks):
+        """Combine rows of ``blocks`` with ``coeffs``: returns ``coeffs @ blocks``.
+
+        ``coeffs`` has shape (k,), ``blocks`` shape (k, n); the result has
+        shape (n,).  This is the single hottest operation in the system —
+        producing one coded packet from a generation of k blocks.
+        """
+        coeffs = np.asarray(coeffs, dtype=self.dtype)
+        blocks = np.asarray(blocks, dtype=self.dtype)
+        if coeffs.shape[0] != blocks.shape[0]:
+            raise ValueError(f"coefficient count {coeffs.shape[0]} != block count {blocks.shape[0]}")
+        acc = np.zeros(blocks.shape[1], dtype=self.dtype)
+        for c, row in zip(coeffs, blocks):
+            if c == 0:
+                continue
+            if c == 1:
+                acc = np.bitwise_xor(acc, row)
+                continue
+            acc = self.addmul(acc, c, row)
+        return acc
+
+    # -- randomness ---------------------------------------------------
+
+    def random_elements(self, rng: np.random.Generator, size) -> np.ndarray:
+        """Uniform random field elements (zero included)."""
+        return rng.integers(0, self.order, size=size, dtype=np.uint32).astype(self.dtype)
+
+    def random_nonzero(self, rng: np.random.Generator, size) -> np.ndarray:
+        """Uniform random nonzero field elements."""
+        return rng.integers(1, self.order, size=size, dtype=np.uint32).astype(self.dtype)
+
+    # -- misc -----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"GaloisField(2^{self.w})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GaloisField) and other.w == self.w
+
+    def __hash__(self) -> int:
+        return hash(("GaloisField", self.w))
+
+
+GF16 = GaloisField(4)
+GF256 = GaloisField(8)
+GF65536 = GaloisField(16)

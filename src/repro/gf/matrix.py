@@ -1,0 +1,116 @@
+"""Dense linear algebra over GF(2^w).
+
+RLNC decoding is Gaussian elimination over the field: a receiver stacks
+the coefficient vectors of the coded packets it has heard and solves for
+the original blocks once the stack reaches full rank.  Everything here
+operates on numpy arrays of field elements and a
+:class:`~repro.gf.field.GaloisField` instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import GaloisField
+
+
+def gf_matvec(field: GaloisField, mat: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    """Matrix-vector product ``mat @ vec`` over the field."""
+    mat = np.asarray(mat, dtype=field.dtype)
+    vec = np.asarray(vec, dtype=field.dtype)
+    if mat.ndim != 2 or vec.ndim != 1 or mat.shape[1] != vec.shape[0]:
+        raise ValueError(f"shape mismatch: {mat.shape} @ {vec.shape}")
+    out = np.zeros(mat.shape[0], dtype=field.dtype)
+    for j, c in enumerate(vec):
+        if c:
+            out = field.add(out, field.scale(c, mat[:, j]))
+    return out
+
+
+def gf_matmul(field: GaloisField, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product ``a @ b`` over the field."""
+    a = np.asarray(a, dtype=field.dtype)
+    b = np.asarray(b, dtype=field.dtype)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
+    for i in range(a.shape[0]):
+        out[i] = field.linear_combination(a[i], b)
+    return out
+
+
+def gf_rref(field: GaloisField, mat: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form; returns ``(rref, pivot_columns)``."""
+    m = np.array(mat, dtype=field.dtype, copy=True)
+    if m.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    rows, cols = m.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        pivot_rows = np.nonzero(m[r:, c])[0]
+        if pivot_rows.size == 0:
+            continue
+        p = r + int(pivot_rows[0])
+        if p != r:
+            m[[r, p]] = m[[p, r]]
+        m[r] = field.scale(field.inv(m[r, c]), m[r])
+        for i in range(rows):
+            if i != r and m[i, c]:
+                m[i] = field.add(m[i], field.scale(m[i, c], m[r]))
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def gf_rank(field: GaloisField, mat: np.ndarray) -> int:
+    """Rank of a matrix over the field."""
+    mat = np.asarray(mat, dtype=field.dtype)
+    if mat.size == 0:
+        return 0
+    _, pivots = gf_rref(field, mat)
+    return len(pivots)
+
+
+def is_invertible(field: GaloisField, mat: np.ndarray) -> bool:
+    """True iff ``mat`` is square and full-rank over the field."""
+    mat = np.asarray(mat, dtype=field.dtype)
+    return mat.ndim == 2 and mat.shape[0] == mat.shape[1] and gf_rank(field, mat) == mat.shape[0]
+
+
+def gf_inverse(field: GaloisField, mat: np.ndarray) -> np.ndarray:
+    """Matrix inverse over the field; raises ``np.linalg.LinAlgError`` if singular."""
+    mat = np.asarray(mat, dtype=field.dtype)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError("inverse requires a square matrix")
+    n = mat.shape[0]
+    aug = np.concatenate([mat, np.eye(n, dtype=field.dtype)], axis=1)
+    rref, pivots = gf_rref(field, aug)
+    if pivots[:n] != list(range(n)):
+        raise np.linalg.LinAlgError("matrix is singular over GF(2^w)")
+    return rref[:, n:]
+
+
+def gf_solve(field: GaloisField, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x = b`` for square full-rank ``a``.
+
+    ``b`` may be a vector or a matrix of stacked right-hand-side columns
+    (shape (n, m)); this is exactly RLNC block recovery where each column
+    of ``b`` is one payload byte position.
+    """
+    a = np.asarray(a, dtype=field.dtype)
+    b = np.asarray(b, dtype=field.dtype)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("solve requires a square coefficient matrix")
+    rhs = b.reshape(b.shape[0], -1)
+    if rhs.shape[0] != a.shape[0]:
+        raise ValueError(f"rhs has {rhs.shape[0]} rows, expected {a.shape[0]}")
+    aug = np.concatenate([a, rhs], axis=1)
+    rref, pivots = gf_rref(field, aug)
+    n = a.shape[0]
+    if pivots[:n] != list(range(n)):
+        raise np.linalg.LinAlgError("matrix is singular over GF(2^w)")
+    x = rref[:, n:]
+    return x.reshape(b.shape) if b.ndim > 1 else x.ravel()

@@ -1,0 +1,34 @@
+"""Linear-programming substrate.
+
+The paper solves its deployment/routing program (2) with off-the-shelf
+solvers ("relax the integer constraint ... use standard LP solvers,
+e.g., glpk" / "apply certain LP solvers, e.g., cplex").  Neither is
+available offline, so this package provides:
+
+- :mod:`repro.lp.model` — a small modeling layer (variables, linear
+  expressions, constraints, max/min objective) that compiles to matrix
+  form.
+- a **HiGHS backend** via :func:`scipy.optimize.linprog` (the default),
+- a **pure-Python two-phase dense simplex** backend
+  (:mod:`repro.lp.simplex`) used as a fallback and as an independent
+  cross-check in tests,
+- :mod:`repro.lp.rounding` — LP-relaxation rounding for the integer VNF
+  counts x_v, rounding *up* so bandwidth/capacity constraints (2c)–(2e)
+  remain satisfied.
+"""
+
+from repro.lp.model import Constraint, LinearProgram, LinExpr, Solution, SolveError, Variable
+from repro.lp.rounding import round_up_integers
+from repro.lp.simplex import SimplexResult, solve_simplex
+
+__all__ = [
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "LinearProgram",
+    "Solution",
+    "SolveError",
+    "solve_simplex",
+    "SimplexResult",
+    "round_up_integers",
+]

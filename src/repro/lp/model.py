@@ -1,0 +1,292 @@
+"""LP modeling layer: variables, expressions, constraints, solve.
+
+Kept deliberately small — just enough to express problem (2) readably:
+
+    lp = LinearProgram()
+    lam = lp.add_variable("lambda_m")
+    x = lp.add_variable("x_v", integer=True)
+    lp.add_constraint(lam - 3.0 * x <= 0.0, name="capacity")
+    lp.maximize(lam - 20.0 * x)
+    solution = lp.solve()
+
+Integer variables are handled by LP relaxation + rounding (see
+:mod:`repro.lp.rounding`), matching the paper's solution approach.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+
+class SolveError(RuntimeError):
+    """The LP could not be solved (infeasible, unbounded, solver failure)."""
+
+
+class LinExpr:
+    """A linear expression: Σ coef·var + constant."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: dict | None = None, constant: float = 0.0):
+        self.terms: dict[Variable, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return LinExpr({other: 1.0})
+        if isinstance(other, (int, float)):
+            return LinExpr(constant=float(other))
+        raise TypeError(f"cannot use {type(other).__name__} in a linear expression")
+
+    def __add__(self, other) -> "LinExpr":
+        other = self._coerce(other)
+        terms = dict(self.terms)
+        for var, coef in other.terms.items():
+            terms[var] = terms.get(var, 0.0) + coef
+        return LinExpr(terms, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self.terms.items()}, -self.constant)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, scalar) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("expressions can only be scaled by numbers (the program must stay linear)")
+        return LinExpr({v: c * scalar for v, c in self.terms.items()}, self.constant * scalar)
+
+    __rmul__ = __mul__
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), "<=")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), ">=")
+
+    def eq(self, other) -> "Constraint":
+        """Equality constraint (named method: ``==`` is kept for identity)."""
+        return Constraint(self - self._coerce(other), "==")
+
+    def value(self, assignment: dict) -> float:
+        """Evaluate under a {Variable: value} assignment."""
+        return self.constant + sum(coef * assignment[var] for var, coef in self.terms.items())
+
+    def __repr__(self) -> str:
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
+        if self.constant:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts) if parts else "0"
+
+
+class Variable:
+    """A decision variable with bounds; hashable by identity."""
+
+    _ids = itertools.count()
+
+    __slots__ = ("name", "lower", "upper", "integer", "index")
+
+    def __init__(self, name: str, lower: float = 0.0, upper: float | None = None, integer: bool = False):
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.integer = integer
+        self.index: int | None = None  # assigned when added to a program
+
+    # Arithmetic delegates to LinExpr.
+    def _expr(self) -> LinExpr:
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return LinExpr._coerce(other) - self._expr()
+
+    def __neg__(self):
+        return -self._expr()
+
+    def __mul__(self, scalar):
+        return self._expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __le__(self, other):
+        return self._expr() <= other
+
+    def __ge__(self, other):
+        return self._expr() >= other
+
+    def eq(self, other):
+        return self._expr().eq(other)
+
+    def __repr__(self) -> str:
+        kind = "int" if self.integer else "cont"
+        return f"Variable({self.name}, [{self.lower}, {self.upper}], {kind})"
+
+
+@dataclass
+class Constraint:
+    """``expr sense 0`` — the rhs is folded into the expression constant."""
+
+    expr: LinExpr
+    sense: str  # one of "<=", ">=", "=="
+    name: str = ""
+
+    def __post_init__(self):
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"unknown constraint sense {self.sense!r}")
+
+    def violation(self, assignment: dict) -> float:
+        """How far the constraint is from holding (0 when satisfied)."""
+        v = self.expr.value(assignment)
+        if self.sense == "<=":
+            return max(0.0, v)
+        if self.sense == ">=":
+            return max(0.0, -v)
+        return abs(v)
+
+
+@dataclass
+class Solution:
+    """Solved program: optimal values and objective."""
+
+    objective: float
+    values: dict
+    status: str = "optimal"
+    backend: str = "highs"
+
+    def __getitem__(self, var: Variable) -> float:
+        return self.values[var]
+
+    def value(self, expr) -> float:
+        """Evaluate a Variable or LinExpr under this solution."""
+        return LinExpr._coerce(expr).value(self.values)
+
+
+class LinearProgram:
+    """A max/min linear program over continuous and integer variables."""
+
+    def __init__(self):
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self._objective: LinExpr | None = None
+        self._sense = "max"
+
+    # -- construction ---------------------------------------------------
+
+    def add_variable(
+        self, name: str, lower: float = 0.0, upper: float | None = None, integer: bool = False
+    ) -> Variable:
+        var = Variable(name, lower, upper, integer)
+        var.index = len(self.variables)
+        self.variables.append(var)
+        return var
+
+    def add_variables(self, names: Iterable[str], **kwargs) -> list[Variable]:
+        return [self.add_variable(n, **kwargs) for n in names]
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if name:
+            constraint.name = name
+        for var in constraint.expr.terms:
+            if var.index is None or var.index >= len(self.variables) or self.variables[var.index] is not var:
+                raise ValueError(f"constraint uses variable {var.name} not belonging to this program")
+        self.constraints.append(constraint)
+        return constraint
+
+    def maximize(self, expr) -> None:
+        self._objective = LinExpr._coerce(expr)
+        self._sense = "max"
+
+    def minimize(self, expr) -> None:
+        self._objective = LinExpr._coerce(expr)
+        self._sense = "min"
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self):
+        """Build (c, A_ub, b_ub, A_eq, b_eq, bounds) for minimization."""
+        if self._objective is None:
+            raise SolveError("no objective set")
+        n = len(self.variables)
+        c = np.zeros(n)
+        for var, coef in self._objective.terms.items():
+            c[var.index] = coef
+        if self._sense == "max":
+            c = -c
+        rows_ub, rhs_ub, rows_eq, rhs_eq = [], [], [], []
+        for con in self.constraints:
+            row = np.zeros(n)
+            for var, coef in con.expr.terms.items():
+                row[var.index] = coef
+            rhs = -con.expr.constant
+            if con.sense == "<=":
+                rows_ub.append(row)
+                rhs_ub.append(rhs)
+            elif con.sense == ">=":
+                rows_ub.append(-row)
+                rhs_ub.append(-rhs)
+            else:
+                rows_eq.append(row)
+                rhs_eq.append(rhs)
+        a_ub = np.array(rows_ub) if rows_ub else None
+        b_ub = np.array(rhs_ub) if rhs_ub else None
+        a_eq = np.array(rows_eq) if rows_eq else None
+        b_eq = np.array(rhs_eq) if rhs_eq else None
+        bounds = [(v.lower, v.upper) for v in self.variables]
+        return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self, backend: str = "highs") -> Solution:
+        """Solve the LP relaxation (integrality handled by the caller).
+
+        ``backend`` is ``"highs"`` (scipy) or ``"simplex"`` (the built-in
+        dense two-phase simplex).
+        """
+        c, a_ub, b_ub, a_eq, b_eq, bounds = self._compile()
+        if backend == "highs":
+            values, objective = self._solve_highs(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        elif backend == "simplex":
+            from repro.lp.simplex import solve_simplex
+
+            result = solve_simplex(c, a_ub, b_ub, a_eq, b_eq, bounds)
+            if not result.success:
+                raise SolveError(f"simplex backend failed: {result.status}")
+            values, objective = result.x, result.objective
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        if self._sense == "max":
+            objective = -objective
+        assignment = {var: float(values[var.index]) for var in self.variables}
+        return Solution(objective=float(objective), values=assignment, backend=backend)
+
+    @staticmethod
+    def _solve_highs(c, a_ub, b_ub, a_eq, b_eq, bounds):
+        from scipy.optimize import linprog
+
+        res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+        if not res.success:
+            raise SolveError(f"HiGHS failed: {res.message}")
+        return res.x, res.fun
+
+    def __repr__(self) -> str:
+        return f"LinearProgram({len(self.variables)} vars, {len(self.constraints)} constraints, {self._sense})"

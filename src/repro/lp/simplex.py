@@ -1,0 +1,166 @@
+"""Dense two-phase primal simplex over numpy.
+
+A from-scratch LP solver used (a) as a fallback when scipy is absent or
+misbehaves and (b) as an independent cross-check of the HiGHS backend
+in tests.  It accepts the same matrix form :class:`repro.lp.model.
+LinearProgram` compiles to: minimize ``c @ x`` subject to
+``A_ub x <= b_ub``, ``A_eq x = b_eq`` and per-variable bounds.
+
+Bounded variables are handled by shifting to zero lower bounds and
+adding explicit upper-bound rows — simple, O(rows²·cols) dense pivoting
+with Bland's rule for cycling safety.  Fine for the few-hundred-variable
+programs problem (2) produces on 5–20 data centers; use the HiGHS
+backend for anything big.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    x: np.ndarray
+    objective: float
+    success: bool
+    status: str
+    iterations: int = 0
+
+
+def solve_simplex(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, max_iter: int = 20000) -> SimplexResult:
+    """Minimize ``c @ x`` subject to inequality/equality rows and bounds."""
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    bounds = bounds if bounds is not None else [(0.0, None)] * n
+
+    # --- normalize variables to x' >= 0 by shifting lower bounds; finite
+    # upper bounds become extra <= rows.
+    shift = np.zeros(n)
+    extra_rows, extra_rhs = [], []
+    for j, (lo, hi) in enumerate(bounds):
+        lo = 0.0 if lo is None else float(lo)
+        if lo == -np.inf or (bounds[j][0] is None):
+            # Free-below variables are not produced by our modeling layer
+            # (everything in problem (2) is >= 0); reject loudly.
+            raise ValueError("simplex backend requires finite lower bounds")
+        shift[j] = lo
+        if hi is not None:
+            row = np.zeros(n)
+            row[j] = 1.0
+            extra_rows.append(row)
+            extra_rhs.append(float(hi) - lo)
+
+    def _shift_rhs(a, b):
+        if a is None:
+            return None, None
+        a = np.asarray(a, dtype=float).reshape(-1, n)
+        b = np.asarray(b, dtype=float).ravel() - a @ shift
+        return a, b
+
+    a_ub, b_ub = _shift_rhs(a_ub, b_ub)
+    a_eq, b_eq = _shift_rhs(a_eq, b_eq)
+    if extra_rows:
+        extra = np.array(extra_rows)
+        extra_b = np.array(extra_rhs)
+        a_ub = extra if a_ub is None else np.vstack([a_ub, extra])
+        b_ub = extra_b if b_ub is None else np.concatenate([b_ub, extra_b])
+
+    # --- standard form: slacks for <= rows.
+    m_ub = 0 if a_ub is None else a_ub.shape[0]
+    m_eq = 0 if a_eq is None else a_eq.shape[0]
+    m = m_ub + m_eq
+    total = n + m_ub  # structural + slack
+    big_a = np.zeros((m, total))
+    big_b = np.zeros(m)
+    if m_ub:
+        big_a[:m_ub, :n] = a_ub
+        big_a[:m_ub, n : n + m_ub] = np.eye(m_ub)
+        big_b[:m_ub] = b_ub
+    if m_eq:
+        big_a[m_ub:, :n] = a_eq
+        big_b[m_ub:] = b_eq
+    # Make every rhs non-negative for phase 1.
+    neg = big_b < 0
+    big_a[neg] *= -1
+    big_b[neg] *= -1
+
+    # --- phase 1: artificial variables, minimize their sum.
+    tableau = np.zeros((m + 1, total + m + 1))
+    tableau[:m, :total] = big_a
+    tableau[:m, total : total + m] = np.eye(m)
+    tableau[:m, -1] = big_b
+    tableau[m, total : total + m] = 1.0
+    basis = list(range(total, total + m))
+    # Price out artificials from the objective row.
+    for i in range(m):
+        tableau[m] -= tableau[i]
+
+    iters1, status = _pivot_loop(tableau, basis, max_iter)
+    if status != "optimal":
+        return SimplexResult(np.zeros(n), 0.0, False, f"phase1 {status}", iters1)
+    if tableau[m, -1] < -1e-7:
+        return SimplexResult(np.zeros(n), 0.0, False, "infeasible", iters1)
+
+    # Drive any artificial still in the basis out (degenerate rows).
+    for i in range(m):
+        if basis[i] >= total:
+            pivot_col = next((j for j in range(total) if abs(tableau[i, j]) > _EPS), None)
+            if pivot_col is None:
+                continue  # redundant row
+            _pivot(tableau, basis, i, pivot_col)
+
+    # --- phase 2: real objective over the current basis.
+    tableau2 = np.zeros((m + 1, total + 1))
+    tableau2[:m, :total] = tableau[:m, :total]
+    tableau2[:m, -1] = tableau[:m, -1]
+    tableau2[m, :n] = c
+    for i, bv in enumerate(basis):
+        if bv < total and abs(tableau2[m, bv]) > _EPS:
+            tableau2[m] -= tableau2[m, bv] * tableau2[i]
+
+    iters2, status = _pivot_loop(tableau2, basis, max_iter)
+    if status != "optimal":
+        return SimplexResult(np.zeros(n), 0.0, False, status, iters1 + iters2)
+
+    x = np.zeros(total)
+    for i, bv in enumerate(basis):
+        if bv < total:
+            x[bv] = tableau2[i, -1]
+    solution = x[:n] + shift
+    return SimplexResult(solution, float(c @ solution), True, "optimal", iters1 + iters2)
+
+
+def _pivot_loop(tableau: np.ndarray, basis: list, max_iter: int) -> tuple[int, str]:
+    """Run simplex pivots until optimal/unbounded; Bland's rule."""
+    m = tableau.shape[0] - 1
+    for iteration in range(max_iter):
+        obj = tableau[m, :-1]
+        candidates = np.nonzero(obj < -_EPS)[0]
+        if candidates.size == 0:
+            return iteration, "optimal"
+        col = int(candidates[0])  # Bland: smallest index
+        column = tableau[:m, col]
+        rhs = tableau[:m, -1]
+        ratios = np.full(m, np.inf)
+        positive = column > _EPS
+        ratios[positive] = rhs[positive] / column[positive]
+        if not np.isfinite(ratios).any():
+            return iteration, "unbounded"
+        # Bland tie-break on the leaving variable as well.
+        best = ratios.min()
+        tied = [i for i in range(m) if ratios[i] <= best + _EPS]
+        row = min(tied, key=lambda i: basis[i])
+        _pivot(tableau, basis, row, col)
+    return max_iter, "iteration limit"
+
+
+def _pivot(tableau: np.ndarray, basis: list, row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > _EPS:
+            tableau[i] -= tableau[i, col] * tableau[row]
+    basis[row] = col

@@ -1,0 +1,67 @@
+"""Network substrate: a discrete-event simulator of the paper's testbed.
+
+The paper evaluates on real EC2/Linode VMs connected over the Internet,
+shaping links with ``netem`` and measuring with ``iperf3``/``ping``.
+We have no testbed, so this package provides the closest synthetic
+equivalent (DESIGN.md §2):
+
+- :mod:`repro.net.events` — the event scheduler (simulated clock).
+- :mod:`repro.net.packet` — datagrams as they appear on the wire.
+- :mod:`repro.net.link` — unidirectional links with capacity,
+  propagation delay, a drop-tail queue and a pluggable loss model.
+- :mod:`repro.net.loss` — i.i.d. and burst (netem-correlation-style)
+  loss models used for Fig. 8 / Fig. 9.
+- :mod:`repro.net.node` — simulated hosts and the node interface the
+  coding VNFs plug into.
+- :mod:`repro.net.buffer` — the per-session FIFO generation buffer
+  (1024 generations by default, per Fig. 5).
+- :mod:`repro.net.nic` — poll-mode (DPDK-like) vs interrupt-mode NIC
+  processing-cost models.
+- :mod:`repro.net.measurement` — iperf3-like bandwidth probes and
+  ping-like RTT probes feeding the controller.
+- :mod:`repro.net.topology` — named-node topology container with
+  per-link attributes.
+"""
+
+from repro.net.buffer import GenerationBuffer
+from repro.net.events import Event, EventScheduler
+from repro.net.link import Link
+from repro.net.loss import BurstLoss, CompositeLoss, LossModel, NoLoss, UniformLoss
+from repro.net.measurement import (
+    BandwidthProbe,
+    MeasurementService,
+    Pinger,
+    path_one_way_delay,
+    path_rtt,
+)
+from repro.net.nic import InterruptNic, NicModel, PollModeNic
+from repro.net.node import Host, Node
+from repro.net.packet import Datagram, IP_HEADER_BYTES, UDP_HEADER_BYTES
+from repro.net.topology import LinkSpec, Topology
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "Datagram",
+    "IP_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "Link",
+    "LossModel",
+    "NoLoss",
+    "UniformLoss",
+    "BurstLoss",
+    "CompositeLoss",
+    "Node",
+    "Host",
+    "GenerationBuffer",
+    "NicModel",
+    "PollModeNic",
+    "InterruptNic",
+    "Topology",
+    "LinkSpec",
+    "Pinger",
+    "BandwidthProbe",
+    "MeasurementService",
+    "path_rtt",
+    "path_one_way_delay",
+]

@@ -1,0 +1,82 @@
+"""Per-session FIFO generation buffer.
+
+A coding VNF stores the packets it has received, keyed by
+(session id, generation id), so a new arrival can immediately be mixed
+with earlier packets of the same generation (paper §III-B2).  Capacity
+is counted in *generations per session*; when a session's buffer is
+full, the oldest generation's packets are discarded (FIFO) to make
+room.  Fig. 5 finds 1024 generations per session sufficient — larger
+buffers gain little — so that is the default.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+DEFAULT_BUFFER_GENERATIONS = 1024
+
+
+class GenerationBuffer:
+    """FIFO buffer of per-generation packet lists for one session."""
+
+    def __init__(self, capacity_generations: int = DEFAULT_BUFFER_GENERATIONS):
+        if capacity_generations <= 0:
+            raise ValueError("buffer capacity must be at least one generation")
+        self.capacity_generations = capacity_generations
+        self._generations: "OrderedDict[int, list]" = OrderedDict()
+        self.evicted_generations = 0
+        self.stored_packets = 0
+
+    def __len__(self) -> int:
+        """Number of generations currently buffered."""
+        return len(self._generations)
+
+    def __contains__(self, generation_id: int) -> bool:
+        return generation_id in self._generations
+
+    def generations(self) -> Iterable[int]:
+        """Buffered generation ids, oldest first."""
+        return iter(self._generations)
+
+    def packets(self, generation_id: int) -> list:
+        """Packets stored for a generation (empty list if none)."""
+        return self._generations.get(generation_id, [])
+
+    def add(self, generation_id: int, packet) -> bool:
+        """Store a packet; returns False if its generation was just evicted.
+
+        Inserting a *new* generation when the buffer is full evicts the
+        oldest buffered generation first (FIFO, per the paper).  Packets
+        for an already-buffered generation always fit.
+        """
+        bucket = self._generations.get(generation_id)
+        if bucket is None:
+            if len(self._generations) >= self.capacity_generations:
+                self._evict_oldest()
+            bucket = []
+            self._generations[generation_id] = bucket
+        bucket.append(packet)
+        self.stored_packets += 1
+        return True
+
+    def _evict_oldest(self) -> None:
+        oldest_id, packets = self._generations.popitem(last=False)
+        self.evicted_generations += 1
+        self.stored_packets -= len(packets)
+
+    def release(self, generation_id: int) -> list:
+        """Remove and return a generation's packets (after decode/forward)."""
+        packets = self._generations.pop(generation_id, [])
+        self.stored_packets -= len(packets)
+        return packets
+
+    def clear(self) -> None:
+        self._generations.clear()
+        self.stored_packets = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerationBuffer({len(self)}/{self.capacity_generations} generations, "
+            f"{self.stored_packets} packets, {self.evicted_generations} evicted)"
+        )

@@ -1,0 +1,98 @@
+"""Discrete-event scheduler: the simulated clock everything runs on.
+
+A single :class:`EventScheduler` instance is shared by links, nodes,
+VNFs and the controller.  Time is a float in seconds.  Events fire in
+timestamp order; ties break in scheduling order (a monotone sequence
+number), which keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
+
+
+class EventScheduler:
+    """Priority-queue event loop with a simulated clock."""
+
+    def __init__(self):
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, fn, *args)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping at time ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to it even
+        if the last event fired earlier, so periodic samplers see a full
+        final interval.
+        """
+        fired = 0
+        while self._queue:
+            nxt = self._queue[0]
+            if nxt.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and nxt.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return
+            self.step()
+            fired += 1
+        if until is not None and self.now < until:
+            self.now = until

@@ -1,0 +1,156 @@
+"""Unidirectional links: capacity, propagation delay, queueing, loss.
+
+A link serializes packets at ``capacity_bps``, holds at most
+``queue_bytes`` of backlog (drop-tail beyond that), applies its loss
+model per packet, then delivers after ``delay_s`` of propagation.  The
+model is the standard store-and-forward pipe: a packet that starts
+transmitting at t arrives at ``t + wire_bits/capacity + delay``.
+
+Capacity and delay can be changed mid-run (``set_capacity`` /
+``set_delay``) — that is how experiments emulate the paper's netem
+bandwidth cuts (Fig. 11) and delay shifts (Alg. 2 triggers).
+Per-packet counters feed the measurement layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.net.events import EventScheduler
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Datagram
+
+DeliverFn = Callable[[Datagram], None]
+
+
+class LinkStats:
+    """Cumulative per-link counters."""
+
+    __slots__ = ("sent_packets", "sent_bytes", "delivered_packets", "delivered_bytes", "dropped_loss", "dropped_queue")
+
+    def __init__(self):
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.dropped_loss = 0
+        self.dropped_queue = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Link:
+    """One direction of a network path between two named nodes."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        src: str,
+        dst: str,
+        capacity_bps: float,
+        delay_s: float,
+        loss: LossModel | None = None,
+        queue_bytes: int = 256 * 1024,
+        rng: np.random.Generator | None = None,
+        jitter_s: float = 0.0,
+    ):
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        if delay_s < 0:
+            raise ValueError("delay cannot be negative")
+        if jitter_s < 0:
+            raise ValueError("jitter cannot be negative")
+        self.scheduler = scheduler
+        self.src = src
+        self.dst = dst
+        self.capacity_bps = float(capacity_bps)
+        self.delay_s = float(delay_s)
+        self.loss = loss if loss is not None else NoLoss()
+        self.queue_bytes = queue_bytes
+        self.jitter_s = float(jitter_s)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._deliver: DeliverFn | None = None
+        self._backlog_bytes = 0
+        # Time at which the transmitter becomes free; packets serialize
+        # one after another without modelling each queue slot separately.
+        self._tx_free_at = 0.0
+        self.stats = LinkStats()
+
+    # -- wiring --------------------------------------------------------
+
+    def connect(self, deliver: DeliverFn) -> None:
+        """Register the receiver-side callback (done by the dst node)."""
+        self._deliver = deliver
+
+    # -- dynamics -------------------------------------------------------
+
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Change link capacity (affects packets sent from now on)."""
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bps = float(capacity_bps)
+
+    def set_delay(self, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ValueError("delay cannot be negative")
+        self.delay_s = float(delay_s)
+
+    def set_loss(self, loss: LossModel) -> None:
+        self.loss = loss
+
+    # -- data path --------------------------------------------------------
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._backlog_bytes
+
+    def send(self, dgram: Datagram) -> bool:
+        """Enqueue a packet; returns False if it was dropped at the tail."""
+        if self._deliver is None:
+            raise RuntimeError(f"link {self.src}->{self.dst} has no receiver connected")
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += dgram.wire_bytes
+        if self._backlog_bytes + dgram.wire_bytes > self.queue_bytes:
+            self.stats.dropped_queue += 1
+            return False
+        now = self.scheduler.now
+        start = max(now, self._tx_free_at)
+        tx_time = dgram.wire_bits / self.capacity_bps
+        finish = start + tx_time
+        self._tx_free_at = finish
+        self._backlog_bytes += dgram.wire_bytes
+        self.scheduler.schedule_at(finish, self._transmitted, dgram)
+        return True
+
+    def _transmitted(self, dgram: Datagram) -> None:
+        self._backlog_bytes -= dgram.wire_bytes
+        if self.loss.drop(self._rng):
+            self.stats.dropped_loss += 1
+            return
+        delay = self.delay_s
+        if self.jitter_s > 0:
+            # Uniform one-sided jitter; reordering across packets is the
+            # point (the Fig. 5 buffer study depends on it).
+            delay += float(self._rng.uniform(0.0, self.jitter_s))
+        self.scheduler.schedule(delay, self._arrive, dgram)
+
+    def _arrive(self, dgram: Datagram) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += dgram.wire_bytes
+        self._deliver(dgram)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def utilization_window(self) -> float:
+        """Current queueing delay (seconds of backlog at link rate)."""
+        return 8 * self._backlog_bytes / self.capacity_bps
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.src}->{self.dst}, {self.capacity_bps / 1e6:.1f} Mbps, "
+            f"{self.delay_s * 1e3:.1f} ms, {self.loss!r})"
+        )

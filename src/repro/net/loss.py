@@ -1,0 +1,147 @@
+"""Packet-loss models, standing in for the paper's ``netem`` shaping.
+
+Two models drive the robustness experiments:
+
+- :class:`UniformLoss` — i.i.d. Bernoulli drops (Fig. 8, 0–50 %).
+- :class:`BurstLoss` — correlated drops in the style of netem's loss
+  correlation.  The paper describes the burst model as
+  ``P_n = 25% × P_{n-1} + P`` with ``P_0 = 0``; we implement the
+  Gilbert-style reading used by netem, where the drop probability of
+  packet *n* depends on whether packet *n−1* was dropped:
+
+  ``P(drop_n | drop_{n-1}) = c + (1−c)·P`` and
+  ``P(drop_n | ok_{n-1}) = (1−c)·P`` with correlation ``c = 0.25``.
+
+  The stationary loss rate stays close to ``P`` while drops cluster
+  into bursts, which is the behaviour Fig. 9 probes.  The literal
+  deterministic recursion (which converges to ``4P/3`` and produces no
+  bursts) is available as :class:`LiteralRecursionLoss` for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LossModel:
+    """Interface: decide the fate of each packet in arrival order."""
+
+    def drop(self, rng: np.random.Generator) -> bool:
+        """Return True if the next packet should be dropped."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget correlation state (new connection / link reset)."""
+
+
+class NoLoss(LossModel):
+    """Lossless link."""
+
+    def drop(self, rng: np.random.Generator) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class UniformLoss(LossModel):
+    """Independent drops with fixed probability ``rate``."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate {rate} outside [0, 1]")
+        self.rate = rate
+
+    def drop(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.rate)
+
+    def __repr__(self) -> str:
+        return f"UniformLoss({self.rate})"
+
+
+class BurstLoss(LossModel):
+    """Correlated (bursty) loss, netem-correlation style.
+
+    ``p`` is the base loss probability, ``correlation`` the weight of
+    the previous packet's fate (0.25 in the paper's experiments).
+    """
+
+    def __init__(self, p: float, correlation: float = 0.25):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability {p} outside [0, 1]")
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError(f"correlation {correlation} outside [0, 1)")
+        self.p = p
+        self.correlation = correlation
+        self._prev_dropped = False
+
+    def drop(self, rng: np.random.Generator) -> bool:
+        prob = self.correlation * (1.0 if self._prev_dropped else 0.0) + (1.0 - self.correlation) * self.p
+        dropped = bool(rng.random() < prob)
+        self._prev_dropped = dropped
+        return dropped
+
+    def reset(self) -> None:
+        self._prev_dropped = False
+
+    def stationary_rate(self) -> float:
+        """Long-run drop fraction implied by the two-state chain."""
+        q = (1.0 - self.correlation) * self.p  # drop prob after an ok packet
+        r = self.correlation + q               # drop prob after a drop
+        # Stationary probability of the "dropped" state of the chain.
+        return q / (1.0 - r + q) if (1.0 - r + q) > 0 else 1.0
+
+    def __repr__(self) -> str:
+        return f"BurstLoss(p={self.p}, correlation={self.correlation})"
+
+
+class LiteralRecursionLoss(LossModel):
+    """The paper's burst formula taken literally: P_n = c·P_{n−1} + P.
+
+    Deterministic in the probability (not the outcome); converges to
+    ``P / (1 − c)``.  Kept for the ablation comparing the two readings.
+    """
+
+    def __init__(self, p: float, correlation: float = 0.25):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability {p} outside [0, 1]")
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError(f"correlation {correlation} outside [0, 1)")
+        self.p = p
+        self.correlation = correlation
+        self._prob = 0.0  # P_0 = 0 per the paper
+
+    def drop(self, rng: np.random.Generator) -> bool:
+        self._prob = min(1.0, self.correlation * self._prob + self.p)
+        return bool(rng.random() < self._prob)
+
+    def reset(self) -> None:
+        self._prob = 0.0
+
+    def limit_rate(self) -> float:
+        """Fixed point of the recursion: P / (1 − c)."""
+        return min(1.0, self.p / (1.0 - self.correlation))
+
+    def __repr__(self) -> str:
+        return f"LiteralRecursionLoss(p={self.p}, correlation={self.correlation})"
+
+
+class CompositeLoss(LossModel):
+    """Drop if *any* of the component models drops (independent causes)."""
+
+    def __init__(self, *models: LossModel):
+        if not models:
+            raise ValueError("CompositeLoss needs at least one component")
+        self.models = models
+
+    def drop(self, rng: np.random.Generator) -> bool:
+        # Evaluate every component so correlated models advance state.
+        results = [m.drop(rng) for m in self.models]
+        return any(results)
+
+    def reset(self) -> None:
+        for m in self.models:
+            m.reset()
+
+    def __repr__(self) -> str:
+        return f"CompositeLoss({', '.join(map(repr, self.models))})"

@@ -1,0 +1,68 @@
+"""Datagrams: what actually occupies link capacity in the simulator.
+
+A :class:`Datagram` models a UDP/IP packet.  ``payload`` is any Python
+object (usually a :class:`repro.rlnc.packet.CodedPacket` or a probe
+marker); ``payload_bytes`` is its *logical* wire size, which is what
+capacity and queue accounting use.  Keeping logical size separate from
+the in-memory representation lets experiments run in coefficients-only
+mode (tiny arrays, real linear algebra) while still charging full
+1472-byte packets against link bandwidth — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+IP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+
+_dgram_ids = itertools.count()
+
+
+@dataclass
+class Datagram:
+    """One UDP/IP packet in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Node names (the simulator's analogue of IP addresses).
+    payload:
+        Application object carried by the packet.
+    payload_bytes:
+        Logical UDP payload size in bytes (NC header + coded block for
+        data packets).
+    dst_port:
+        UDP destination port; coding VNFs listen on a designated port
+        (paper §III-A).
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    payload_bytes: int
+    dst_port: int = 0
+    src_port: int = 0
+    dgram_id: int = field(default_factory=lambda: next(_dgram_ids))
+    created_at: float = 0.0
+
+    def __post_init__(self):
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total on-the-wire size: payload + UDP + IP headers."""
+        return self.payload_bytes + UDP_HEADER_BYTES + IP_HEADER_BYTES
+
+    @property
+    def wire_bits(self) -> int:
+        return 8 * self.wire_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Datagram(#{self.dgram_id} {self.src}->{self.dst}:{self.dst_port}, "
+            f"{self.payload_bytes}B payload)"
+        )

@@ -1,0 +1,126 @@
+"""Topology container: named nodes plus directed, attributed links.
+
+The controller's optimization consumes a *graph view* of the world —
+data centers, sources, destinations and the measured (bandwidth, delay)
+of the links between them — while the data plane needs live
+:class:`~repro.net.link.Link` objects.  :class:`Topology` provides both:
+it builds the simulator objects and exports a ``networkx.DiGraph`` for
+the routing and optimization layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import networkx as nx
+import numpy as np
+
+from repro.net.events import EventScheduler
+from repro.net.link import Link
+from repro.net.loss import LossModel
+from repro.net.node import Host, Node
+
+
+@dataclass
+class LinkSpec:
+    """Declarative description of one directed link."""
+
+    src: str
+    dst: str
+    capacity_mbps: float
+    delay_ms: float
+    loss: LossModel | None = None
+    queue_bytes: int = 256 * 1024
+    jitter_s: float = 0.0
+
+    @property
+    def capacity_bps(self) -> float:
+        return self.capacity_mbps * 1e6
+
+    @property
+    def delay_s(self) -> float:
+        return self.delay_ms / 1e3
+
+
+@dataclass
+class Topology:
+    """A set of nodes and the directed links between them."""
+
+    scheduler: EventScheduler = dataclass_field(default_factory=EventScheduler)
+    rng: np.random.Generator = dataclass_field(default_factory=np.random.default_rng)
+
+    def __post_init__(self):
+        self.nodes: dict[str, Node] = {}
+        self.links: dict[tuple[str, str], Link] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node_or_name) -> Node:
+        """Add a node (a :class:`Node` instance or a name for a Host)."""
+        node = node_or_name if isinstance(node_or_name, Node) else Host(node_or_name, self.scheduler)
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name}")
+        self.nodes[node.name] = node
+        return node
+
+    def get(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def add_link(self, spec: LinkSpec) -> Link:
+        """Instantiate one directed link from a spec and wire it up."""
+        key = (spec.src, spec.dst)
+        if key in self.links:
+            raise ValueError(f"duplicate link {spec.src}->{spec.dst}")
+        src = self.get(spec.src)
+        dst = self.get(spec.dst)
+        link = Link(
+            scheduler=self.scheduler,
+            src=spec.src,
+            dst=spec.dst,
+            capacity_bps=spec.capacity_bps,
+            delay_s=spec.delay_s,
+            loss=spec.loss,
+            queue_bytes=spec.queue_bytes,
+            rng=self.rng,
+            jitter_s=spec.jitter_s,
+        )
+        src.attach_out(link)
+        dst.attach_in(link)
+        self.links[key] = link
+        return link
+
+    def add_duplex(self, a: str, b: str, capacity_mbps: float, delay_ms: float, **kwargs) -> tuple[Link, Link]:
+        """Add symmetric links in both directions."""
+        fwd = self.add_link(LinkSpec(a, b, capacity_mbps, delay_ms, **kwargs))
+        rev = self.add_link(LinkSpec(b, a, capacity_mbps, delay_ms, **kwargs))
+        return fwd, rev
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src}->{dst}") from None
+
+    # -- views ---------------------------------------------------------------
+
+    def graph(self) -> nx.DiGraph:
+        """Export a networkx view with capacity/delay edge attributes.
+
+        Capacities are in Mbps and delays in ms, the units used by the
+        optimization layer throughout.
+        """
+        g = nx.DiGraph()
+        g.add_nodes_from(self.nodes)
+        for (src, dst), link in self.links.items():
+            g.add_edge(src, dst, capacity_mbps=link.capacity_bps / 1e6, delay_ms=link.delay_s * 1e3)
+        return g
+
+    def run(self, until: float | None = None) -> None:
+        """Convenience passthrough to the scheduler."""
+        self.scheduler.run(until=until)
+
+    def __repr__(self) -> str:
+        return f"Topology({len(self.nodes)} nodes, {len(self.links)} links)"

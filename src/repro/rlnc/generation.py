@@ -1,0 +1,107 @@
+"""Generation/block segmentation of application data.
+
+Source data is divided into *generations*, each carrying a session-wide
+unique generation number; within a generation the data is further split
+into fixed-size *blocks* (the paper's Fig. 3).  Coding only ever mixes
+blocks of the same generation, which bounds decoding complexity and the
+buffering a receiver needs.
+
+The paper's defaults, exposed here as module constants:
+
+- ``DEFAULT_BLOCK_BYTES = 1460`` so an NC packet exactly fills the MTU,
+- ``DEFAULT_BLOCKS_PER_GENERATION = 4`` — the sweet spot of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+DEFAULT_BLOCK_BYTES = 1460
+DEFAULT_BLOCKS_PER_GENERATION = 4
+
+
+@dataclass(eq=False)
+class Generation:
+    """One generation: a (k, block_bytes) matrix of original blocks.
+
+    The final generation of a message may logically be shorter than
+    ``k * block_bytes``; it is zero-padded to full size and the true
+    length is restored by :func:`reassemble` from the recorded total.
+    """
+
+    generation_id: int
+    blocks: np.ndarray
+
+    def __post_init__(self):
+        self.blocks = np.asarray(self.blocks, dtype=np.uint8)
+        if self.blocks.ndim != 2:
+            raise ValueError("blocks must be a (k, block_bytes) matrix")
+
+    @property
+    def block_count(self) -> int:
+        return int(self.blocks.shape[0])
+
+    @property
+    def block_bytes(self) -> int:
+        return int(self.blocks.shape[1])
+
+    @property
+    def size_bytes(self) -> int:
+        """Generation size in the paper's sense: bytes per generation."""
+        return self.block_count * self.block_bytes
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Generation)
+            and self.generation_id == other.generation_id
+            and np.array_equal(self.blocks, other.blocks)
+        )
+
+    def __repr__(self) -> str:
+        return f"Generation(id={self.generation_id}, k={self.block_count}, block={self.block_bytes}B)"
+
+
+def segment(
+    data: bytes,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    blocks_per_generation: int = DEFAULT_BLOCKS_PER_GENERATION,
+    first_generation_id: int = 0,
+) -> list[Generation]:
+    """Split ``data`` into generations of ``blocks_per_generation`` blocks.
+
+    The last generation is zero-padded to full size.  Returns at least
+    one generation even for empty input (an all-zero generation), so a
+    zero-length transfer still has a well-defined wire representation.
+    """
+    if block_bytes <= 0 or blocks_per_generation <= 0:
+        raise ValueError("block_bytes and blocks_per_generation must be positive")
+    gen_bytes = block_bytes * blocks_per_generation
+    raw = np.frombuffer(data, dtype=np.uint8)
+    n_generations = max(1, -(-raw.shape[0] // gen_bytes))
+    padded = np.zeros(n_generations * gen_bytes, dtype=np.uint8)
+    padded[: raw.shape[0]] = raw
+    matrix = padded.reshape(n_generations, blocks_per_generation, block_bytes)
+    return [
+        Generation(generation_id=first_generation_id + i, blocks=matrix[i])
+        for i in range(n_generations)
+    ]
+
+
+def reassemble(generations: list[Generation], total_bytes: int) -> bytes:
+    """Concatenate decoded generations and strip padding to ``total_bytes``.
+
+    Generations are sorted by id first, so out-of-order decode completion
+    (common with per-generation pipelining) is handled.
+    """
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be non-negative")
+    ordered = sorted(generations, key=lambda g: g.generation_id)
+    ids = [g.generation_id for g in ordered]
+    if ids and ids != list(range(ids[0], ids[0] + len(ids))):
+        raise ValueError(f"generation ids are not contiguous: {ids}")
+    payload = b"".join(g.blocks.tobytes() for g in ordered)
+    if len(payload) < total_bytes:
+        raise ValueError(f"decoded {len(payload)} bytes, but message claims {total_bytes}")
+    return payload[:total_bytes]

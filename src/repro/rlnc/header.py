@@ -1,0 +1,110 @@
+"""NC wire header.
+
+The paper inserts a network-coding layer between UDP and the application
+layer.  Its header carries everything a relay or receiver needs to place
+a coded block: the multicast session id, the generation number, and the
+encoding coefficient vector.  The fixed part is 8 bytes; the coefficient
+vector adds one byte per block for GF(2^8) (so 12 bytes total at the
+default 4 blocks per generation, which together with a 1460-byte block,
+the 8-byte UDP header and the 20-byte IP header exactly fills a 1500-byte
+MTU).
+
+Layout (big-endian):
+
+====== ======= ================================================
+offset size    field
+====== ======= ================================================
+0      2       session id
+2      4       generation id
+6      1       block count k (coefficient vector length)
+7      1       flags (bit 0: systematic; bits 1-7 reserved)
+8      k       coefficients, one GF(2^8) element per block
+====== ======= ================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+_FIXED = struct.Struct("!HIBB")
+
+FLAG_SYSTEMATIC = 0x01
+
+FIXED_HEADER_BYTES = _FIXED.size  # 8, as stated in the paper
+
+
+@dataclass(frozen=True, eq=False)
+class NCHeader:
+    """Parsed NC header.
+
+    Attributes
+    ----------
+    session_id:
+        Controller-assigned unique id of the multicast session.
+    generation_id:
+        Sequence number of the generation this block codes over.
+    coefficients:
+        GF(2^8) coefficient vector, length = blocks per generation.
+    systematic:
+        True when the packet carries an original (uncoded) block; the
+        coefficient vector is then a unit vector.
+    """
+
+    session_id: int
+    generation_id: int
+    coefficients: np.ndarray
+    systematic: bool = False
+
+    def __post_init__(self):
+        coeffs = np.asarray(self.coefficients, dtype=np.uint8)
+        object.__setattr__(self, "coefficients", coeffs)
+        if not 0 <= self.session_id < 1 << 16:
+            raise ValueError(f"session_id {self.session_id} out of range for 16 bits")
+        if not 0 <= self.generation_id < 1 << 32:
+            raise ValueError(f"generation_id {self.generation_id} out of range for 32 bits")
+        if coeffs.ndim != 1 or not 1 <= coeffs.shape[0] <= 255:
+            raise ValueError("coefficient vector must be 1-D with 1..255 entries")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, NCHeader)
+            and self.session_id == other.session_id
+            and self.generation_id == other.generation_id
+            and self.systematic == other.systematic
+            and np.array_equal(self.coefficients, other.coefficients)
+        )
+
+    @property
+    def block_count(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized header length: 8 fixed bytes + one per coefficient."""
+        return FIXED_HEADER_BYTES + self.block_count
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        flags = FLAG_SYSTEMATIC if self.systematic else 0
+        return _FIXED.pack(self.session_id, self.generation_id, self.block_count, flags) + self.coefficients.tobytes()
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["NCHeader", bytes]:
+        """Parse a header off the front of ``data``; returns (header, payload)."""
+        if len(data) < FIXED_HEADER_BYTES:
+            raise ValueError(f"short NC header: {len(data)} bytes")
+        session_id, generation_id, k, flags = _FIXED.unpack_from(data)
+        end = FIXED_HEADER_BYTES + k
+        if len(data) < end:
+            raise ValueError(f"truncated coefficient vector: want {k}, have {len(data) - FIXED_HEADER_BYTES}")
+        coeffs = np.frombuffer(data[FIXED_HEADER_BYTES:end], dtype=np.uint8).copy()
+        header = cls(
+            session_id=session_id,
+            generation_id=generation_id,
+            coefficients=coeffs,
+            systematic=bool(flags & FLAG_SYSTEMATIC),
+        )
+        return header, data[end:]

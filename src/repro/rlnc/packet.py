@@ -1,0 +1,70 @@
+"""Coded packet: NC header + one coded block of payload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rlnc.header import NCHeader
+
+
+@dataclass(eq=False)
+class CodedPacket:
+    """One RLNC packet as it travels the data plane.
+
+    ``payload`` is the coded block as GF(2^8) symbols (uint8).  The wire
+    representation is ``header.encode() + payload.tobytes()``; for a
+    1460-byte block and 4 blocks per generation it occupies exactly
+    1472 bytes of UDP payload, filling a 1500-byte Ethernet MTU once UDP
+    and IP headers are added (the paper's fragmentation-free sizing).
+    """
+
+    header: NCHeader
+    payload: np.ndarray
+
+    def __post_init__(self):
+        self.payload = np.asarray(self.payload, dtype=np.uint8)
+        if self.payload.ndim != 1:
+            raise ValueError("payload must be a 1-D byte array")
+
+    @property
+    def session_id(self) -> int:
+        return self.header.session_id
+
+    @property
+    def generation_id(self) -> int:
+        return self.header.generation_id
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        return self.header.coefficients
+
+    @property
+    def size_bytes(self) -> int:
+        """Total NC-layer size (header + block) in bytes."""
+        return self.header.size_bytes + int(self.payload.shape[0])
+
+    def encode(self) -> bytes:
+        """Serialize header and payload to bytes."""
+        return self.header.encode() + self.payload.tobytes()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CodedPacket":
+        """Parse a serialized coded packet."""
+        header, rest = NCHeader.decode(data)
+        return cls(header=header, payload=np.frombuffer(rest, dtype=np.uint8).copy())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CodedPacket)
+            and self.header == other.header
+            and np.array_equal(self.payload, other.payload)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CodedPacket(session={self.session_id}, gen={self.generation_id}, "
+            f"k={self.header.block_count}, systematic={self.header.systematic}, "
+            f"block={self.payload.shape[0]}B)"
+        )

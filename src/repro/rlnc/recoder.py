@@ -1,0 +1,96 @@
+"""In-network recoder: the data plane of a relay coding VNF.
+
+A relay never needs to decode.  It buffers the coded packets it has
+heard for a generation and emits *re-coded* packets: random linear
+combinations of the buffered combinations, whose effective coefficient
+vectors (w.r.t. the original blocks) it can compute by combining the
+buffered headers with the same random weights.
+
+The paper's VNF is *pipelined*: an intermediate node produces and
+forwards a fresh coded packet immediately after each arrival from the
+same (session, generation), and simply forwards the very first packet of
+a generation verbatim (there is nothing yet to mix it with).
+:meth:`Recoder.on_packet` implements exactly that policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf import GF256, GaloisField
+from repro.rlnc.header import NCHeader
+from repro.rlnc.packet import CodedPacket
+
+
+class Recoder:
+    """Recoding state for one (session, generation) at a relay VNF."""
+
+    def __init__(
+        self,
+        session_id: int,
+        generation_id: int,
+        block_count: int,
+        field: GaloisField = GF256,
+        rng: np.random.Generator | None = None,
+    ):
+        self.session_id = session_id
+        self.generation_id = generation_id
+        self.block_count = block_count
+        self.field = field
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._coeffs: list[np.ndarray] = []
+        self._payloads: list[np.ndarray] = []
+
+    @property
+    def buffered(self) -> int:
+        """Number of packets buffered for this generation."""
+        return len(self._coeffs)
+
+    def add(self, packet: CodedPacket) -> None:
+        """Buffer a received coded packet."""
+        if packet.session_id != self.session_id or packet.generation_id != self.generation_id:
+            raise ValueError(
+                f"packet for ({packet.session_id}, {packet.generation_id}) fed to recoder "
+                f"for ({self.session_id}, {self.generation_id})"
+            )
+        if packet.header.block_count != self.block_count:
+            raise ValueError(
+                f"block count mismatch: packet has {packet.header.block_count}, recoder expects {self.block_count}"
+            )
+        self._coeffs.append(packet.coefficients.astype(self.field.dtype))
+        self._payloads.append(packet.payload)
+
+    def recode(self) -> CodedPacket:
+        """Emit one fresh combination of everything buffered so far."""
+        if not self._coeffs:
+            raise RuntimeError("cannot recode before any packet has been buffered")
+        weights = self.field.random_elements(self._rng, len(self._coeffs))
+        if not weights.any():
+            weights[-1] = self.field.random_nonzero(self._rng, 1)[0]
+        coeff_matrix = np.stack(self._coeffs)
+        payload_matrix = np.stack(self._payloads)
+        effective = self.field.linear_combination(weights, coeff_matrix)
+        payload = self.field.linear_combination(weights, payload_matrix)
+        return CodedPacket(
+            header=NCHeader(
+                session_id=self.session_id,
+                generation_id=self.generation_id,
+                coefficients=effective,
+                systematic=False,
+            ),
+            payload=payload,
+        )
+
+    def on_packet(self, packet: CodedPacket) -> CodedPacket:
+        """Pipelined relay policy: buffer, then emit.
+
+        The first packet of a generation is forwarded verbatim (the paper:
+        "in case the packet is the first one in its generation received by
+        the VNF, the VNF simply forwards it"); every later arrival triggers
+        a fresh recoded combination over the whole buffer.
+        """
+        first = self.buffered == 0
+        self.add(packet)
+        if first:
+            return packet
+        return self.recode()

@@ -1,0 +1,93 @@
+"""Per-generation redundancy policy (the paper's NC0 / NC1 / NC2).
+
+Section V-B3 studies how many *extra* coded packets each coding node
+should emit per generation: NC0 adds none (k packets for k blocks), NC1
+adds one, NC2 adds two.  Extra packets buy loss robustness — a receiver
+decodes from any k linearly independent packets — at the price of
+bandwidth when the links are clean.  The paper's finding: no redundancy
+on reliable links, a small amount under heavy loss.
+
+:func:`recommend_redundancy` captures that guidance as a simple rule the
+controller can apply per-link from measured loss rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RedundancyPolicy:
+    """How many packets a coding node emits per generation.
+
+    ``extra`` is the number of redundant coded packets on top of the k
+    needed in the loss-free case; the paper's configurations are
+    ``RedundancyPolicy(0)`` (NC0), ``RedundancyPolicy(1)`` (NC1) and
+    ``RedundancyPolicy(2)`` (NC2).
+    """
+
+    extra: int = 0
+
+    def __post_init__(self):
+        if self.extra < 0:
+            raise ValueError("redundancy cannot be negative")
+
+    def packets_per_generation(self, block_count: int) -> int:
+        """Total packets emitted per generation of ``block_count`` blocks."""
+        if block_count <= 0:
+            raise ValueError("block_count must be positive")
+        return block_count + self.extra
+
+    def overhead_fraction(self, block_count: int) -> float:
+        """Bandwidth overhead relative to the uncoded generation."""
+        return self.extra / block_count
+
+    @property
+    def name(self) -> str:
+        """Paper-style label: NC0, NC1, NC2, ..."""
+        return f"NC{self.extra}"
+
+
+NC0 = RedundancyPolicy(0)
+NC1 = RedundancyPolicy(1)
+NC2 = RedundancyPolicy(2)
+
+
+def expected_delivery_probability(loss_rate: float, block_count: int, extra: int) -> float:
+    """Probability that a receiver gets >= k of the k+extra packets sent.
+
+    Assumes i.i.d. loss with rate ``loss_rate`` and ignores the (field-
+    size-controlled) chance of linear dependency, which at GF(2^8) is
+    below 0.4% per packet.  Used by tests and by the redundancy
+    recommendation rule.
+    """
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError("loss_rate must be in [0, 1]")
+    if block_count <= 0 or extra < 0:
+        raise ValueError("block_count must be positive and extra non-negative")
+    n = block_count + extra
+    p = 1.0 - loss_rate
+    # P[Binomial(n, p) >= k]
+    from math import comb
+
+    return sum(comb(n, i) * p**i * (1 - p) ** (n - i) for i in range(block_count, n + 1))
+
+
+def recommend_redundancy(
+    loss_rate: float,
+    block_count: int,
+    target_delivery: float = 0.9,
+    max_extra: int = 8,
+) -> RedundancyPolicy:
+    """Pick the smallest redundancy meeting a delivery target.
+
+    Implements the paper's qualitative rule ("a small number of extra
+    coded packets ... in cases of high packet loss rate, and no extra
+    coded packets if the links are reliable") as the least ``extra`` with
+    per-generation delivery probability >= ``target_delivery``, capped at
+    ``max_extra``.
+    """
+    for extra in range(max_extra + 1):
+        if expected_delivery_probability(loss_rate, block_count, extra) >= target_delivery:
+            return RedundancyPolicy(extra)
+    return RedundancyPolicy(max_extra)

@@ -1,0 +1,35 @@
+"""Routing substrate: graph algorithms under the deployment optimizer.
+
+- :mod:`repro.routing.paths` — delay-bounded DFS enumerating the
+  feasible path sets P^k_m (paper §IV-A, "Feasible paths").
+- :mod:`repro.routing.maxflow` — Edmonds–Karp max-flow, used for the
+  theoretical multicast capacity bound (min over receivers of the
+  source→receiver max flow; 69.9 Mbps on the paper's butterfly) that
+  Fig. 7 compares against.
+- :mod:`repro.routing.conceptual` — conceptual flows [Li et al. 2006]:
+  per-receiver flows whose per-link maximum is the actual coded rate.
+- :mod:`repro.routing.trees` — store-and-forward multicast trees, the
+  routing-only (Non-NC) baseline.
+"""
+
+from repro.routing.conceptual import ConceptualFlow, FlowDecomposition, actual_link_rates
+from repro.routing.maxflow import max_flow, multicast_capacity
+from repro.routing.packing import candidate_trees, tree_packing_rate, tree_packing_solution
+from repro.routing.paths import Path, enumerate_feasible_paths, path_delay_ms
+from repro.routing.trees import best_multicast_tree, tree_throughput
+
+__all__ = [
+    "Path",
+    "enumerate_feasible_paths",
+    "path_delay_ms",
+    "max_flow",
+    "multicast_capacity",
+    "ConceptualFlow",
+    "FlowDecomposition",
+    "actual_link_rates",
+    "best_multicast_tree",
+    "tree_throughput",
+    "tree_packing_rate",
+    "tree_packing_solution",
+    "candidate_trees",
+]

@@ -1,0 +1,121 @@
+"""Feasible-path enumeration: the modified DFS of §IV-A.
+
+For each (source, destination) pair of a multicast session the
+controller enumerates every simple path through the candidate data
+centers whose end-to-end delay stays within the session's tolerance
+L^max_m.  The paper notes candidate sets are small (5–20 data centers),
+so exhaustive delay-pruned DFS is fast; we also support restricting
+relay hops to data-center nodes only (sources/receivers never relay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Path:
+    """A simple path with its cached end-to-end delay."""
+
+    nodes: tuple
+    delay_ms: float
+
+    @property
+    def edges(self) -> tuple:
+        return tuple(zip(self.nodes, self.nodes[1:]))
+
+    @property
+    def hops(self) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def is_direct(self) -> bool:
+        """True for the relay-free source→destination path."""
+        return self.hops == 1
+
+    def relays(self) -> tuple:
+        """Intermediate nodes (the data centers the path uses)."""
+        return self.nodes[1:-1]
+
+    def __repr__(self) -> str:
+        return f"Path({'->'.join(map(str, self.nodes))}, {self.delay_ms:.1f} ms)"
+
+
+def path_delay_ms(graph: nx.DiGraph, nodes: Iterable[str]) -> float:
+    """Sum of ``delay_ms`` edge attributes along a node sequence."""
+    nodes = list(nodes)
+    total = 0.0
+    for u, v in zip(nodes, nodes[1:]):
+        data = graph.get_edge_data(u, v)
+        if data is None:
+            raise KeyError(f"no edge {u}->{v} in graph")
+        total += data["delay_ms"]
+    return total
+
+
+def enumerate_feasible_paths(
+    graph: nx.DiGraph,
+    source: str,
+    destination: str,
+    max_delay_ms: float,
+    relay_nodes: set | None = None,
+    max_hops: int | None = None,
+) -> list[Path]:
+    """All simple paths source→destination with delay ≤ ``max_delay_ms``.
+
+    ``relay_nodes`` restricts which nodes may appear as intermediates
+    (the candidate data centers V); the endpoints are always allowed.
+    The DFS prunes as soon as the running delay exceeds the bound, the
+    paper's modification.  Results are sorted by delay, direct path (if
+    feasible) naturally first when it is fastest.
+    """
+    if source == destination:
+        raise ValueError("source and destination must differ")
+    if max_delay_ms < 0:
+        raise ValueError("delay bound cannot be negative")
+    results: list[Path] = []
+    stack = [source]
+    on_stack = {source}
+
+    def dfs(node: str, delay: float) -> None:
+        if max_hops is not None and len(stack) - 1 >= max_hops:
+            return
+        for _, nxt, data in graph.out_edges(node, data=True):
+            if nxt in on_stack:
+                continue  # no cycles
+            new_delay = delay + data["delay_ms"]
+            if new_delay > max_delay_ms:
+                continue  # prune: already over budget
+            if nxt == destination:
+                results.append(Path(nodes=tuple(stack) + (destination,), delay_ms=new_delay))
+                continue
+            if relay_nodes is not None and nxt not in relay_nodes:
+                continue  # only data centers relay
+            stack.append(nxt)
+            on_stack.add(nxt)
+            dfs(nxt, new_delay)
+            stack.pop()
+            on_stack.remove(nxt)
+
+    if source in graph:
+        dfs(source, 0.0)
+    results.sort(key=lambda p: (p.delay_ms, p.hops, p.nodes))
+    return results
+
+
+def feasible_path_sets(
+    graph: nx.DiGraph,
+    source: str,
+    destinations: Iterable[str],
+    max_delay_ms: float,
+    relay_nodes: set | None = None,
+    max_hops: int | None = None,
+) -> dict:
+    """P^k_m for every destination k of one session."""
+    return {
+        dst: enumerate_feasible_paths(graph, source, dst, max_delay_ms, relay_nodes, max_hops)
+        for dst in destinations
+    }

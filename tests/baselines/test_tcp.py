@@ -1,0 +1,82 @@
+"""Direct-TCP baseline model tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MathisModel, TcpAimdSimulator, direct_tcp_throughput_mbps
+
+
+class TestMathis:
+    def test_lossless_is_capacity_limited(self):
+        assert MathisModel().throughput_mbps(0.1, 0.0, capacity_mbps=50.0) == 50.0
+
+    def test_formula_value(self):
+        # MSS 1460 B, RTT 100 ms, p = 1%: 1460*8/(0.1*sqrt(2*.01/3)) bps.
+        expected = 1460 * 8 / (0.1 * (2 * 0.01 / 3) ** 0.5) / 1e6
+        assert MathisModel().throughput_mbps(0.1, 0.01) == pytest.approx(expected)
+
+    def test_rate_decreases_with_loss(self):
+        model = MathisModel()
+        rates = [model.throughput_mbps(0.1, p) for p in (0.001, 0.01, 0.05)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_rate_decreases_with_rtt(self):
+        model = MathisModel()
+        assert model.throughput_mbps(0.2, 0.01) < model.throughput_mbps(0.05, 0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MathisModel().throughput_mbps(0.0, 0.01)
+        with pytest.raises(ValueError):
+            MathisModel().throughput_mbps(0.1, 1.5)
+
+
+class TestAimd:
+    def test_lossless_fills_pipe(self, rng):
+        sim = TcpAimdSimulator(capacity_mbps=20.0, rtt_s=0.05, loss_rate=0.0)
+        result = sim.run(30.0, rng)
+        assert result["mean_mbps"] == pytest.approx(20.0, rel=0.15)
+
+    def test_sawtooth_under_loss(self, rng):
+        sim = TcpAimdSimulator(capacity_mbps=50.0, rtt_s=0.08, loss_rate=0.01)
+        result = sim.run(60.0, rng)
+        rates = result["throughput_mbps"]
+        assert rates.max() > rates.min()  # visible sawtooth
+        assert result["mean_mbps"] < 50.0
+
+    def test_loss_hurts(self, rng):
+        clean = TcpAimdSimulator(capacity_mbps=50.0, rtt_s=0.08, loss_rate=0.0).run(60.0, rng)
+        lossy = TcpAimdSimulator(capacity_mbps=50.0, rtt_s=0.08, loss_rate=0.02).run(
+            60.0, np.random.default_rng(1)
+        )
+        assert lossy["mean_mbps"] < clean["mean_mbps"]
+
+    def test_long_rtt_hurts(self):
+        fast = TcpAimdSimulator(capacity_mbps=50.0, rtt_s=0.02, loss_rate=0.01).run(60.0, np.random.default_rng(2))
+        slow = TcpAimdSimulator(capacity_mbps=50.0, rtt_s=0.2, loss_rate=0.01).run(60.0, np.random.default_rng(2))
+        assert slow["mean_mbps"] < fast["mean_mbps"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpAimdSimulator(capacity_mbps=0, rtt_s=0.1)
+        sim = TcpAimdSimulator(capacity_mbps=10, rtt_s=0.1)
+        with pytest.raises(ValueError):
+            sim.run(0.0, np.random.default_rng(0))
+
+
+class TestHelper:
+    def test_clamped_by_mathis(self, rng):
+        rate = direct_tcp_throughput_mbps(100.0, rtt_s=0.15, loss_rate=0.05, rng=rng)
+        assert rate <= MathisModel().throughput_mbps(0.15, 0.05, 100.0) + 1e-9
+
+
+class TestRelayBaseline:
+    def test_non_nc_rate_on_butterfly(self, butterfly_graph):
+        from repro.baselines import non_nc_multicast_rate
+
+        relays = {"O1", "C1", "T", "V2"}
+        multi = non_nc_multicast_rate(butterfly_graph, "V1", ["O2", "C2"], relay_nodes=relays)
+        single = non_nc_multicast_rate(butterfly_graph, "V1", ["O2", "C2"], relay_nodes=relays, multipath=False)
+        assert multi == pytest.approx(52.5, rel=1e-6)
+        assert single == pytest.approx(35.0)
+        assert single <= multi

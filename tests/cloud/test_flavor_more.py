@@ -1,0 +1,46 @@
+"""Extra flavour/NIC interaction coverage."""
+
+import pytest
+
+from repro.cloud.flavor import C3_XLARGE, InstanceFlavor
+from repro.net.nic import InterruptNic, PollModeNic
+
+
+class TestEffectiveCapacity:
+    def test_poll_nic_does_not_bind(self):
+        # With a DPDK NIC, the C3.xlarge ceiling is its coding capacity.
+        assert C3_XLARGE.effective_capacity_mbps() == pytest.approx(900.0)
+
+    def test_interrupt_nic_binds(self):
+        slow = InstanceFlavor(
+            name="legacy",
+            vcpus=1,
+            ram_gb=1.0,
+            inbound_mbps=20_000.0,
+            outbound_mbps=20_000.0,
+            coding_capacity_mbps=10_000.0,
+            hourly_cost_usd=0.1,
+            nic=InterruptNic(),
+        )
+        # The interrupt path cannot sustain 10 Gbps of 1500 B packets.
+        assert slow.effective_capacity_mbps() < 10_000.0
+        assert slow.effective_capacity_mbps() == pytest.approx(
+            InterruptNic().max_throughput_bps(1500) / 1e6
+        )
+
+    def test_bandwidth_cap_binds(self):
+        capped = InstanceFlavor(
+            name="capped",
+            vcpus=4,
+            ram_gb=4.0,
+            inbound_mbps=100.0,
+            outbound_mbps=100.0,
+            coding_capacity_mbps=900.0,
+            hourly_cost_usd=0.1,
+            nic=PollModeNic(),
+        )
+        assert capped.effective_capacity_mbps() == pytest.approx(100.0)
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            InstanceFlavor("x", 1, 1.0, 1.0, 1.0, 1.0, -0.1)

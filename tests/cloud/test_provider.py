@@ -1,0 +1,157 @@
+"""Cloud provider API and data-center tests."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import BillingMeter, CloudProvider, DataCenter, ProviderError
+from repro.cloud.provider import LaunchLatency
+from repro.cloud.trace import BandwidthTrace, TABLE_I_TRACES, table_i_statistics
+
+
+@pytest.fixture
+def provider(scheduler):
+    dcs = [DataCenter("oregon"), DataCenter("virginia")]
+    return CloudProvider("ec2", scheduler, dcs, rng=np.random.default_rng(1))
+
+
+class TestLaunch:
+    def test_launch_registers_in_datacenter(self, provider, scheduler):
+        vm = provider.launch_vm("oregon")
+        assert vm.datacenter == "oregon"
+        assert vm in provider.datacenters["oregon"].vms
+        scheduler.run(until=60.0)
+        assert provider.datacenters["oregon"].running_vms() == [vm]
+
+    def test_unknown_region(self, provider):
+        with pytest.raises(ProviderError):
+            provider.launch_vm("mars")
+
+    def test_quota(self, scheduler):
+        provider = CloudProvider("p", scheduler, [DataCenter("x")], vm_quota=2, rng=np.random.default_rng(1))
+        provider.launch_vm("x")
+        provider.launch_vm("x")
+        with pytest.raises(ProviderError):
+            provider.launch_vm("x")
+
+    def test_launch_latency_jitter(self, scheduler):
+        latency = LaunchLatency(mean_s=35.0, jitter_frac=0.15)
+        rng = np.random.default_rng(0)
+        samples = [latency.sample(rng) for _ in range(100)]
+        assert all(35.0 * 0.85 <= s <= 35.0 * 1.15 for s in samples)
+        assert np.mean(samples) == pytest.approx(35.0, rel=0.05)
+
+
+class TestTerminate:
+    def test_graceful_opens_grace_window(self, provider, scheduler):
+        vm = provider.launch_vm("oregon", grace_tau_s=100.0)
+        scheduler.run(until=60.0)
+        provider.terminate_vm(vm.vm_id)
+        assert vm.state.value == "stopping"
+        scheduler.run(until=200.0)
+        assert vm.state.value == "terminated"
+
+    def test_hard_terminate(self, provider, scheduler):
+        vm = provider.launch_vm("oregon")
+        scheduler.run(until=60.0)
+        provider.terminate_vm(vm.vm_id, graceful=False)
+        assert vm.state.value == "terminated"
+
+    def test_unknown_vm(self, provider):
+        with pytest.raises(ProviderError):
+            provider.terminate_vm("vm-unknown")
+
+
+class TestListing:
+    def test_list_filters_by_datacenter(self, provider):
+        provider.launch_vm("oregon")
+        provider.launch_vm("virginia")
+        assert len(provider.list_vms()) == 2
+        assert len(provider.list_vms("oregon")) == 1
+
+    def test_get_vm(self, provider):
+        vm = provider.launch_vm("oregon")
+        assert provider.get_vm(vm.vm_id) is vm
+
+
+class TestDataCenter:
+    def test_default_caps_from_flavor(self):
+        dc = DataCenter("oregon")
+        inbound, outbound = dc.bandwidth_caps()
+        assert inbound == 1000.0 and outbound == 1000.0
+
+    def test_set_caps(self):
+        dc = DataCenter("oregon")
+        dc.set_bandwidth_caps(inbound_mbps=500.0)
+        assert dc.bandwidth_caps()[0] == 500.0
+        with pytest.raises(ValueError):
+            dc.set_bandwidth_caps(outbound_mbps=0.0)
+
+    def test_trace_advance(self):
+        dc = DataCenter("oregon", trace=BandwidthTrace())
+        rng = np.random.default_rng(0)
+        caps = [dc.advance_trace(rng) for _ in range(10)]
+        values = [c for pair in caps for c in pair]
+        assert all(700.0 <= v <= 1000.0 for v in values)
+        assert len(set(values)) > 5
+
+    def test_stopping_vms_listed(self, provider, scheduler):
+        vm = provider.launch_vm("oregon", grace_tau_s=600.0)
+        scheduler.run(until=60.0)
+        vm.request_shutdown()
+        dc = provider.datacenters["oregon"]
+        assert dc.stopping_vms() == [vm]
+        assert dc.usable_vms() == [vm]
+        assert dc.running_vms() == []
+
+
+class TestBilling:
+    def test_meter_accumulates(self, provider, scheduler):
+        meter = BillingMeter([provider])
+        provider.launch_vm("oregon")
+        scheduler.run(until=3600.0)
+        cost = meter.sample(3600.0)
+        assert cost > 0
+        assert meter.final_cost() == cost
+        assert meter.vm_seconds(3600.0) == pytest.approx(3600.0)
+
+    def test_cost_by_datacenter(self, provider, scheduler):
+        provider.launch_vm("oregon")
+        provider.launch_vm("virginia")
+        scheduler.run(until=100.0)
+        meter = BillingMeter([provider])
+        split = meter.cost_by_datacenter(100.0)
+        assert set(split) == {"oregon", "virginia"}
+
+    def test_no_samples_raises(self, provider):
+        with pytest.raises(RuntimeError):
+            BillingMeter([provider]).final_cost()
+
+
+class TestTableITraces:
+    def test_verbatim_values(self):
+        assert TABLE_I_TRACES["oregon"]["in"] == [926, 918, 906, 915, 915, 893]
+        assert TABLE_I_TRACES["california"]["out"] == [928, 923, 909, 917, 919, 901]
+
+    def test_statistics(self):
+        stats = table_i_statistics()
+        assert stats["samples"] == 24
+        assert 900 < stats["mean_mbps"] < 925
+        assert stats["min_mbps"] == 876
+        assert stats["max_mbps"] == 938
+
+    def test_synthetic_matches_measured_band(self):
+        trace = BandwidthTrace()
+        rng = np.random.default_rng(7)
+        series = trace.generate(1000, rng)
+        assert 880 < series.mean() < 945
+        assert series.std() < 40
+
+    def test_generate_pair_format(self):
+        trace = BandwidthTrace()
+        pair = trace.generate_pair(6, np.random.default_rng(0))
+        assert set(pair) == {"in", "out"}
+        assert len(pair["in"]) == 6
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace().generate(0, np.random.default_rng(0))

@@ -1,0 +1,136 @@
+"""VM lifecycle tests: launch latency, τ grace, reuse."""
+
+import pytest
+
+from repro.cloud.flavor import C3_XLARGE, LINODE_1GB
+from repro.cloud.vm import VirtualMachine, VmLifecycleError, VmState
+
+
+def make_vm(scheduler, **kwargs):
+    defaults = dict(datacenter="oregon", flavor=C3_XLARGE, launch_latency_s=35.0, grace_tau_s=600.0)
+    defaults.update(kwargs)
+    return VirtualMachine(scheduler, **defaults)
+
+
+class TestBoot:
+    def test_starts_pending(self, scheduler):
+        vm = make_vm(scheduler)
+        assert vm.state is VmState.PENDING
+        assert not vm.is_usable
+
+    def test_running_after_launch_latency(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=34.0)
+        assert vm.state is VmState.PENDING
+        scheduler.run(until=36.0)
+        assert vm.state is VmState.RUNNING
+        assert vm.running_since == pytest.approx(35.0)
+
+    def test_on_running_callback(self, scheduler):
+        seen = []
+        make_vm(scheduler, on_running=seen.append)
+        scheduler.run()
+        assert len(seen) == 1
+
+    def test_terminate_while_pending(self, scheduler):
+        vm = make_vm(scheduler)
+        vm.request_shutdown()
+        assert vm.state is VmState.TERMINATED
+        scheduler.run()
+        assert vm.state is VmState.TERMINATED  # boot event must not resurrect it
+
+
+class TestGraceWindow:
+    def test_shutdown_after_tau(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=40.0)
+        vm.request_shutdown()
+        assert vm.state is VmState.STOPPING
+        assert vm.is_usable  # still usable inside the grace window
+        scheduler.run(until=40.0 + 599.0)
+        assert vm.state is VmState.STOPPING
+        scheduler.run(until=40.0 + 601.0)
+        assert vm.state is VmState.TERMINATED
+
+    def test_reuse_cancels_shutdown(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=40.0)
+        vm.request_shutdown()
+        scheduler.run(until=200.0)
+        vm.reuse()
+        assert vm.state is VmState.RUNNING
+        assert vm.reuse_count == 1
+        scheduler.run(until=5000.0)
+        assert vm.state is VmState.RUNNING  # grace timer was cancelled
+
+    def test_reuse_requires_stopping(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=40.0)
+        with pytest.raises(VmLifecycleError):
+            vm.reuse()
+
+    def test_double_shutdown_is_idempotent(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=40.0)
+        vm.request_shutdown()
+        vm.request_shutdown()
+        scheduler.run()
+        assert vm.state is VmState.TERMINATED
+
+    def test_shutdown_after_terminated_raises(self, scheduler):
+        vm = make_vm(scheduler)
+        vm.terminate_now()
+        with pytest.raises(VmLifecycleError):
+            vm.request_shutdown()
+
+    def test_terminate_now_bypasses_grace(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=40.0)
+        vm.request_shutdown()
+        vm.terminate_now()
+        assert vm.state is VmState.TERMINATED
+
+    def test_on_terminated_callback(self, scheduler):
+        seen = []
+        vm = make_vm(scheduler, on_terminated=seen.append)
+        scheduler.run(until=40.0)
+        vm.terminate_now()
+        assert seen == [vm]
+
+
+class TestBilling:
+    def test_billed_from_launch_to_termination(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=100.0)
+        vm.terminate_now()
+        scheduler.run(until=500.0)
+        assert vm.billed_seconds() == pytest.approx(100.0)
+
+    def test_billed_while_running(self, scheduler):
+        vm = make_vm(scheduler)
+        scheduler.run(until=50.0)
+        assert vm.billed_seconds(now=50.0) == pytest.approx(50.0)
+
+    def test_cost_uses_flavor_rate(self, scheduler):
+        vm = make_vm(scheduler, flavor=LINODE_1GB)
+        scheduler.run(until=3600.0 + 35.0)
+        vm.terminate_now()
+        assert vm.cost_usd() == pytest.approx(LINODE_1GB.hourly_cost_usd * (3635.0 / 3600.0))
+
+
+class TestFlavors:
+    def test_paper_flavors(self):
+        assert C3_XLARGE.vcpus == 4
+        assert C3_XLARGE.inbound_mbps == 1000.0
+        assert LINODE_1GB.outbound_mbps == 125.0
+
+    def test_effective_capacity_bounded_by_weakest(self):
+        assert LINODE_1GB.effective_capacity_mbps() <= 125.0
+
+    def test_validation(self):
+        from repro.cloud.flavor import InstanceFlavor
+
+        with pytest.raises(ValueError):
+            InstanceFlavor("bad", 0, 1.0, 1.0, 1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            InstanceFlavor("bad", 1, 1.0, 0.0, 1.0, 1.0, 0.1)

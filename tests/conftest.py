@@ -1,0 +1,38 @@
+"""Shared fixtures for the reproduction's test suite."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.net.events import EventScheduler
+
+
+@pytest.fixture
+def rng():
+    """Deterministic randomness for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def scheduler():
+    return EventScheduler()
+
+
+@pytest.fixture
+def butterfly_graph():
+    """The uniform-capacity butterfly (NC capacity 70, packing 52.5)."""
+    from repro.experiments.butterfly import butterfly_graph
+
+    return butterfly_graph()
+
+
+@pytest.fixture
+def small_graph():
+    """A 4-node diamond: s -> {a, b} -> t with asymmetric capacities."""
+    g = nx.DiGraph()
+    g.add_edge("s", "a", capacity_mbps=40.0, delay_ms=10.0)
+    g.add_edge("s", "b", capacity_mbps=30.0, delay_ms=20.0)
+    g.add_edge("a", "t", capacity_mbps=25.0, delay_ms=10.0)
+    g.add_edge("b", "t", capacity_mbps=35.0, delay_ms=15.0)
+    g.add_edge("s", "t", capacity_mbps=10.0, delay_ms=50.0)
+    return g

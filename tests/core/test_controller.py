@@ -1,0 +1,155 @@
+"""Controller tests: session lifecycle, fleet reconciliation, tables."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudProvider, DataCenter
+from repro.core import Controller, MulticastSession
+from repro.core.deployment import DataCenterSpec
+
+RELAYS = ["O1", "C1", "T", "V2"]
+
+
+@pytest.fixture
+def controller(butterfly_graph, scheduler, rng):
+    providers = {
+        name: CloudProvider(f"p-{name}", scheduler, [DataCenter(name)], rng=np.random.default_rng(9))
+        for name in RELAYS
+    }
+    return Controller(
+        butterfly_graph.copy(),
+        [DataCenterSpec(n, 900, 900, 900) for n in RELAYS],
+        scheduler,
+        alpha=1.0,
+        providers=providers,
+    )
+
+
+def butterfly_session():
+    return MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=250.0)
+
+
+class TestSessionLifecycle:
+    def test_add_session_routes_and_deploys(self, controller, scheduler):
+        session = butterfly_session()
+        plan = controller.add_session(session)
+        assert plan.lambdas[session.session_id] == pytest.approx(70.0, rel=1e-6)
+        assert sum(controller.required_vnf_counts().values()) >= 4
+        scheduler.run(until=60.0)
+        running = controller.running_vnf_counts()
+        assert all(running[n] >= 1 for n in RELAYS)
+
+    def test_duplicate_session_rejected(self, controller):
+        session = butterfly_session()
+        controller.add_session(session)
+        with pytest.raises(ValueError):
+            controller.add_session(session)
+
+    def test_nc_start_signal_sent(self, controller):
+        session = butterfly_session()
+        controller.add_session(session)
+        starts = controller.bus.sent_of_kind("NcStart")
+        assert len(starts) == 1
+        assert starts[0].signal.target == "V1"
+
+    def test_remove_session_recycles(self, controller, scheduler):
+        session = butterfly_session()
+        controller.add_session(session)
+        scheduler.run(until=60.0)
+        result = controller.remove_session(session.session_id)
+        assert result["chosen"] in ("g1", "g2")
+        assert controller.required_vnf_counts() == {n: 0 for n in RELAYS}
+        # τ grace first, then termination.
+        scheduler.run(until=60.0 + 601.0)
+        assert all(len(s.running_or_pending()) == 0 for s in controller.fleet.values())
+
+    def test_unknown_session_removal(self, controller):
+        with pytest.raises(ValueError):
+            controller.remove_session(999)
+
+    def test_receiver_join_reroutes(self, controller, scheduler):
+        # Third receiver colocated at T's egress: attach a new edge first.
+        controller.graph.add_edge("V2", "X", capacity_mbps=35.0, delay_ms=10.0)
+        session = butterfly_session()
+        controller.add_session(session)
+        plan = controller.add_receiver(session.session_id, "X")
+        assert "X" in controller.sessions[session.session_id].receivers
+        assert plan.lambdas[session.session_id] > 0
+
+    def test_receiver_quit(self, controller):
+        controller.graph.add_edge("V2", "X", capacity_mbps=35.0, delay_ms=10.0)
+        session = butterfly_session()
+        controller.add_session(session)
+        controller.add_receiver(session.session_id, "X")
+        result = controller.remove_receiver(session.session_id, "X")
+        assert result["chosen"] in ("g1", "g2")
+        assert "X" not in controller.sessions[session.session_id].receivers
+
+
+class TestFleet:
+    def test_reuse_before_launch(self, controller, scheduler):
+        session = butterfly_session()
+        controller.add_session(session)
+        scheduler.run(until=60.0)
+        controller.remove_session(session.session_id)
+        # All VMs are now STOPPING inside their grace window.
+        api_calls_before = sum(p.api_calls for p in controller.providers.values())
+        s2 = butterfly_session()
+        controller.add_session(s2)
+        api_calls_after = sum(p.api_calls for p in controller.providers.values())
+        reused = sum(1 for st in controller.fleet.values() for vm in st.vms if vm.reuse_count)
+        assert reused >= 4  # grace-window VMs got reused
+        assert api_calls_after == api_calls_before  # no new launches
+
+    def test_nc_vnf_signals_emitted(self, controller):
+        session = butterfly_session()
+        controller.add_session(session)
+        assert controller.bus.sent_of_kind("NcVnfStart")
+        controller.remove_session(session.session_id)
+        assert controller.bus.sent_of_kind("NcVnfEnd")
+
+
+class TestForwardingTables:
+    def test_tables_follow_flows(self, controller):
+        session = butterfly_session()
+        controller.add_session(session)
+        tables = controller.forwarding_tables()
+        sid = session.session_id
+        assert set(tables["V1"].next_hops(sid)) == {"O1", "C1"}
+        assert "V2" in tables["T"].next_hops(sid)
+        assert set(tables["V2"].next_hops(sid)) == {"O2", "C2"}
+
+    def test_push_sends_signals(self, controller):
+        session = butterfly_session()
+        controller.add_session(session)
+        count = controller.push_forwarding_tables()
+        assert count >= 5  # V1 + four relays
+        assert len(controller.bus.sent_of_kind("NcForwardTab")) == count
+
+
+class TestObservations:
+    def test_link_observation_updates_graph(self, controller):
+        controller.observe_link(("T", "V2"), bandwidth_mbps=10.0, delay_ms=99.0)
+        assert controller.graph.edges[("T", "V2")]["capacity_mbps"] == 10.0
+        assert controller.graph.edges[("T", "V2")]["delay_ms"] == 99.0
+
+    def test_unknown_link_rejected(self, controller):
+        with pytest.raises(KeyError):
+            controller.observe_link(("T", "nowhere"), bandwidth_mbps=1.0)
+
+    def test_dc_caps_update(self, controller):
+        controller.observe_datacenter_caps("T", inbound_mbps=100.0)
+        assert controller.datacenters["T"].inbound_mbps == 100.0
+
+    def test_achieved_throughput_tracks_reality(self, controller, scheduler):
+        session = butterfly_session()
+        controller.add_session(session)
+        # Before any VM is RUNNING, nothing can be carried.
+        assert controller.achieved_total_throughput_mbps() == pytest.approx(0.0)
+        scheduler.run(until=60.0)
+        assert controller.achieved_total_throughput_mbps() == pytest.approx(70.0, rel=1e-6)
+        # Ground truth says T's VNF caps were halved: throughput scales.
+        degraded = controller.achieved_total_throughput_mbps({"T": (450.0, 450.0)})
+        assert degraded == pytest.approx(70.0, rel=1e-6)  # 450 still covers the 35 Mbps load
+        crushed = controller.achieved_total_throughput_mbps({"T": (20.0, 20.0)})
+        assert crushed < 70.0

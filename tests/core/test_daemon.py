@@ -1,0 +1,70 @@
+"""Daemon signal-handling tests (§III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.daemon import VNF_START_LATENCY_S, VnfDaemon
+from repro.core.signals import NcForwardTab, NcSettings, NcVnfEnd, SignalBus
+from repro.core.vnf import CodingVnf, VnfRole
+
+
+@pytest.fixture
+def daemon_setup(scheduler, rng):
+    bus = SignalBus(scheduler, latency_s=0.01)
+    vnf = CodingVnf("node1", scheduler, rng=rng)
+    daemon = VnfDaemon(vnf, bus)
+    return bus, vnf, daemon
+
+
+class TestSettings:
+    def test_settings_configure_roles(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcSettings(target="node1", session_ids=(5,), roles=((5, "recoder"),), udp_port=52017))
+        scheduler.run()
+        assert vnf.roles[5] is VnfRole.RECODER
+
+    def test_function_start_latency(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcSettings(target="node1", roles=((1, "forwarder"),)))
+        scheduler.run(until=0.01 + VNF_START_LATENCY_S / 2)
+        assert not daemon.function_running
+        scheduler.run(until=0.01 + VNF_START_LATENCY_S + 0.01)
+        assert daemon.function_running
+        # ~376 ms, the §V-C5 measurement.
+        assert daemon.started_at == pytest.approx(0.01 + VNF_START_LATENCY_S, abs=1e-6)
+
+
+class TestForwardTab:
+    def test_table_applied_when_running(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),)))
+        scheduler.run()
+        bus.send(NcForwardTab(target="node1", table_text="1 hopA hopB\n"))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == ["hopA", "hopB"]
+        assert daemon.applied_tables == 1
+        assert daemon.total_pause_s > 0
+
+    def test_table_before_start_is_deferred(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcForwardTab(target="node1", table_text="1 hopA\n"))
+        scheduler.run(until=0.05)
+        assert vnf.forwarding_table.next_hops(1) == []  # not yet applied
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),)))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == ["hopA"]
+
+
+class TestVnfEnd:
+    def test_end_unregisters_and_notifies(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        ended = []
+        daemon.on_shutdown = ended.append
+        bus.send(NcVnfEnd(target="node1", vnf_name="node1"))
+        scheduler.run()
+        assert ended == [daemon]
+        assert not daemon.function_running
+        # Further signals are ignored (daemon unregistered).
+        bus.send(NcForwardTab(target="node1", table_text="1 x\n"))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == []

@@ -1,0 +1,166 @@
+"""Problem (2) optimizer tests."""
+
+import pytest
+
+from repro.core.deployment import DataCenterSpec, DeploymentProblem
+from repro.core.session import MulticastSession
+
+RELAYS = ["O1", "C1", "T", "V2"]
+
+
+def make_problem(graph, alpha=1.0, **kwargs):
+    dcs = [DataCenterSpec(n, 900, 900, 900) for n in RELAYS]
+    return DeploymentProblem(graph, dcs, alpha=alpha, **kwargs)
+
+
+def butterfly_session(lmax=250.0, fixed=None):
+    return MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=lmax, fixed_rate_mbps=fixed)
+
+
+class TestBasicSolve:
+    def test_achieves_multicast_capacity(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        session = butterfly_session()
+        plan = problem.solve([problem.build_demand(session)])
+        assert plan.lambdas[session.session_id] == pytest.approx(70.0, rel=1e-6)
+
+    def test_flows_respect_capacities(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        session = butterfly_session()
+        plan = problem.solve([problem.build_demand(session)])
+        plan.decompositions[session.session_id].validate(
+            bandwidth_of=lambda e: butterfly_graph.edges[e]["capacity_mbps"]
+        )
+
+    def test_vnfs_deployed_where_flows_go(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        session = butterfly_session()
+        plan = problem.solve([problem.build_demand(session)])
+        assert plan.vnfs_at("T") >= 1
+        assert plan.total_vnfs >= 4  # all four relays used at the optimum
+
+    def test_delay_bound_restricts_throughput(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        # Only the 2-hop relay paths fit in 110 ms (O1->O2 ≈ 47+...):
+        session = butterfly_session(lmax=70.0)
+        plan = problem.solve([problem.build_demand(session)])
+        assert plan.lambdas[session.session_id] < 70.0
+
+    def test_infeasible_delay_gives_zero(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        session = butterfly_session(lmax=10.0)
+        plan = problem.solve([problem.build_demand(session)])
+        assert plan.lambdas[session.session_id] == 0.0
+        assert plan.total_vnfs == 0
+
+
+class TestAlphaTradeoff:
+    def test_high_alpha_kills_deployment(self, butterfly_graph):
+        # There is no direct V1->O2/C2 edge in the butterfly graph, so at
+        # absurd α the optimum is no VNFs and zero throughput.
+        problem = make_problem(butterfly_graph, alpha=1000.0)
+        session = butterfly_session()
+        plan = problem.solve([problem.build_demand(session)])
+        assert plan.total_vnfs == 0
+        assert plan.lambdas[session.session_id] == pytest.approx(0.0, abs=1e-6)
+
+    def test_throughput_monotone_in_alpha(self, butterfly_graph):
+        rates = []
+        for alpha in (0.0, 10.0, 30.0, 1000.0):
+            problem = make_problem(butterfly_graph, alpha=alpha)
+            session = butterfly_session()
+            plan = problem.solve([problem.build_demand(session)])
+            rates.append(plan.lambdas[session.session_id])
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestFixedRate:
+    def test_fixed_rate_session_routed(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        session = butterfly_session(fixed=20.0)
+        plan = problem.solve([problem.build_demand(session)])
+        assert plan.lambdas[session.session_id] == pytest.approx(20.0)
+        decomposition = plan.decompositions[session.session_id]
+        for flow in decomposition.flows.values():
+            assert flow.rate() >= 20.0 - 1e-6
+
+    def test_fixed_rate_uses_fewer_vnfs_than_max(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        full = problem.solve([problem.build_demand(butterfly_session())])
+        modest = problem.solve([problem.build_demand(butterfly_session(fixed=20.0))])
+        assert modest.total_vnfs <= full.total_vnfs
+
+    def test_infeasible_fixed_rate_raises(self, butterfly_graph):
+        from repro.lp import SolveError
+
+        problem = make_problem(butterfly_graph)
+        session = butterfly_session(fixed=500.0)
+        with pytest.raises(SolveError):
+            problem.solve([problem.build_demand(session)])
+
+
+class TestIncremental:
+    def test_frozen_flows_consume_capacity(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        s1 = butterfly_session()
+        plan1 = problem.solve([problem.build_demand(s1)])
+        s2 = butterfly_session()
+        plan2 = problem.solve([problem.build_demand(s2)], frozen=[plan1])
+        # Session 1 ate the whole butterfly; session 2 gets nothing.
+        assert plan2.lambdas[s2.session_id] == pytest.approx(0.0, abs=1e-5)
+
+    def test_baseline_vnfs_are_free(self, butterfly_graph):
+        problem = make_problem(butterfly_graph, alpha=30.0)
+        session = butterfly_session()
+        baseline = {name: 2 for name in RELAYS}
+        plan = problem.solve([problem.build_demand(session)], baseline_vnfs=baseline)
+        # With capacity already paid for, the solver routes at full rate.
+        assert plan.lambdas[session.session_id] == pytest.approx(70.0, rel=1e-6)
+
+    def test_fixed_vnfs_pins_deployment(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        session = butterfly_session()
+        fixed = {"O1": 1, "C1": 1, "T": 0, "V2": 0}
+        plan = problem.solve([problem.build_demand(session)], fixed_vnfs=fixed)
+        assert plan.vnf_counts == {"O1": 1, "C1": 1, "T": 0, "V2": 0}
+        # Without T/V2 the relayed paths vanish: only 2-hop paths remain.
+        assert plan.lambdas[session.session_id] <= 70.0
+
+
+class TestMultiSession:
+    def test_two_sessions_share_capacity(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        s1 = butterfly_session()
+        s2 = butterfly_session()
+        plan = problem.solve([problem.build_demand(s1), problem.build_demand(s2)])
+        total = plan.lambdas[s1.session_id] + plan.lambdas[s2.session_id]
+        assert total <= 70.0 + 1e-6
+
+    def test_merged_with(self, butterfly_graph):
+        problem = make_problem(butterfly_graph)
+        s1 = butterfly_session()
+        plan1 = problem.solve([problem.build_demand(s1)])
+        s2 = butterfly_session()
+        plan2 = problem.solve([problem.build_demand(s2)], frozen=[plan1])
+        merged = plan1.merged_with(plan2)
+        assert set(merged.lambdas) == {s1.session_id, s2.session_id}
+        for name in RELAYS:
+            assert merged.vnfs_at(name) == max(plan1.vnfs_at(name), plan2.vnfs_at(name))
+
+
+class TestValidationErrors:
+    def test_no_datacenters(self, butterfly_graph):
+        with pytest.raises(ValueError):
+            DeploymentProblem(butterfly_graph, [], alpha=1.0)
+
+    def test_unknown_datacenter(self, butterfly_graph):
+        with pytest.raises(ValueError):
+            DeploymentProblem(butterfly_graph, [DataCenterSpec("nowhere", 1, 1, 1)])
+
+    def test_negative_alpha(self, butterfly_graph):
+        with pytest.raises(ValueError):
+            make_problem(butterfly_graph, alpha=-1.0)
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            DataCenterSpec("x", 0, 1, 1)

@@ -1,0 +1,94 @@
+"""Forwarding-table and update-cost tests (§III-A, Tab. III)."""
+
+import pytest
+
+from repro.core import ForwardingTable, ForwardingUpdateModel
+from repro.core.forwarding import ForwardingTableError
+
+
+class TestTable:
+    def test_roundtrip_serialization(self):
+        table = ForwardingTable({1: ["a", "b"], 2: ["c"]})
+        parsed = ForwardingTable.parse(table.serialize())
+        assert parsed.entries == table.entries
+
+    def test_text_format(self):
+        table = ForwardingTable({2: ["x"], 1: ["a", "b"]})
+        assert table.serialize() == "1 a b\n2 x\n"
+
+    def test_parse_ignores_comments_and_blanks(self):
+        text = "# comment\n\n1 a b\n"
+        table = ForwardingTable.parse(text)
+        assert table.next_hops(1) == ["a", "b"]
+
+    def test_parse_errors(self):
+        with pytest.raises(ForwardingTableError):
+            ForwardingTable.parse("notanumber a\n")
+        with pytest.raises(ForwardingTableError):
+            ForwardingTable.parse("1 a\n1 b\n")
+
+    def test_duplicate_hops_rejected(self):
+        with pytest.raises(ForwardingTableError):
+            ForwardingTable({1: ["a", "a"]})
+
+    def test_set_empty_removes(self):
+        table = ForwardingTable({1: ["a"]})
+        table.set_next_hops(1, [])
+        assert table.sessions() == []
+
+    def test_len_counts_entries(self):
+        assert len(ForwardingTable({1: ["a", "b"], 2: ["c"]})) == 3
+
+    def test_copy_is_deep_enough(self):
+        table = ForwardingTable({1: ["a"]})
+        clone = table.copy()
+        clone.set_next_hops(1, ["b"])
+        assert table.next_hops(1) == ["a"]
+
+
+class TestDiff:
+    def test_diff_counts_changed_rows(self):
+        old = ForwardingTable({1: ["a"], 2: ["b"], 3: ["c"]})
+        new = ForwardingTable({1: ["a"], 2: ["x"], 4: ["d"]})
+        # session 2 changed, 3 removed, 4 added.
+        assert old.diff_entries(new) == 3
+
+    def test_update_fraction(self):
+        old = ForwardingTable({i: ["a"] for i in range(10)})
+        new = old.copy()
+        for i in range(2):
+            new.set_next_hops(i, ["b"])
+        assert old.update_fraction(new) == pytest.approx(0.2)
+
+    def test_identical_tables_zero(self):
+        table = ForwardingTable({1: ["a"]})
+        assert table.diff_entries(table.copy()) == 0
+
+
+class TestUpdateModel:
+    def test_reproduces_table_iii(self):
+        # Tab. III: 10-entry table, update % -> ms.
+        model = ForwardingUpdateModel()
+        published = {2: 78.44, 4: 145.82, 6: 194.06, 8: 264.82, 10: 310.61}
+        for entries, expected_ms in published.items():
+            predicted = model.pause_seconds(entries) * 1e3
+            assert predicted == pytest.approx(expected_ms, rel=0.12)
+
+    def test_monotone(self):
+        model = ForwardingUpdateModel()
+        pauses = [model.pause_seconds(n) for n in range(0, 11)]
+        assert pauses == sorted(pauses)
+
+    def test_zero_update_free(self):
+        assert ForwardingUpdateModel().pause_seconds(0) == 0.0
+
+    def test_pause_for_update_uses_diff(self):
+        model = ForwardingUpdateModel()
+        old = ForwardingTable({i: ["a"] for i in range(10)})
+        new = old.copy()
+        new.set_next_hops(0, ["b"])
+        assert model.pause_for_update(old, new) == pytest.approx(model.pause_seconds(1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ForwardingUpdateModel().pause_seconds(-1)

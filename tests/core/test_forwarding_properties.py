@@ -1,0 +1,64 @@
+"""Hypothesis property tests for forwarding tables and the buffer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.forwarding import ForwardingTable
+from repro.net.buffer import GenerationBuffer
+
+hop_name = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+table_entries = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=1000),
+    values=st.lists(hop_name, min_size=0, max_size=4, unique=True),
+    max_size=12,
+)
+
+
+@given(entries=table_entries)
+@settings(max_examples=80, deadline=None)
+def test_serialize_parse_roundtrip(entries):
+    table = ForwardingTable(entries)
+    parsed = ForwardingTable.parse(table.serialize())
+    assert parsed.entries == table.entries
+
+
+@given(entries=table_entries)
+@settings(max_examples=50, deadline=None)
+def test_diff_with_self_is_zero(entries):
+    table = ForwardingTable(entries)
+    assert table.diff_entries(table.copy()) == 0
+    assert table.update_fraction(table.copy()) == 0.0
+
+
+@given(a=table_entries, b=table_entries)
+@settings(max_examples=50, deadline=None)
+def test_diff_is_symmetric(a, b):
+    ta, tb = ForwardingTable(a), ForwardingTable(b)
+    assert ta.diff_entries(tb) == tb.diff_entries(ta)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=16),
+    operations=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_buffer_never_exceeds_capacity(capacity, operations):
+    buf = GenerationBuffer(capacity)
+    for gen_id in operations:
+        buf.add(gen_id, object())
+        assert len(buf) <= capacity
+    # Stored packet count is consistent with the per-generation lists.
+    assert buf.stored_packets == sum(len(buf.packets(g)) for g in buf.generations())
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    gen_ids=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60, unique=True),
+)
+@settings(max_examples=50, deadline=None)
+def test_buffer_keeps_most_recent_insertions(capacity, gen_ids):
+    buf = GenerationBuffer(capacity)
+    for g in gen_ids:
+        buf.add(g, "p")
+    survivors = list(buf.generations())
+    assert survivors == gen_ids[-capacity:] if len(gen_ids) >= capacity else gen_ids

@@ -1,0 +1,107 @@
+"""Pluggable relay-function tests (the modularization extension)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    ForwardRelayFunction,
+    RlncRelayFunction,
+    XorFecRelayFunction,
+    available_functions,
+    make_relay_function,
+    register_relay_function,
+)
+from repro.rlnc import Decoder, Encoder, Generation
+
+
+@pytest.fixture
+def generation(rng):
+    return Generation(0, rng.integers(0, 256, (4, 16), dtype=np.uint8))
+
+
+class TestForward:
+    def test_identity(self, rng, generation):
+        enc = Encoder(1, generation, rng=rng)
+        fn = ForwardRelayFunction()
+        p = enc.next_packet()
+        assert fn.on_packet(p) == [p]
+
+
+class TestRlnc:
+    def test_decodes_through_function(self, rng, generation):
+        enc = Encoder(1, generation, systematic=False, rng=rng)
+        fn = RlncRelayFunction(1, 0, 4, rng=rng)
+        dec = Decoder(1, 0, 4, 16)
+        while not dec.complete:
+            for out in fn.on_packet(enc.next_packet()):
+                dec.add(out)
+        assert dec.decode() == generation
+
+
+class TestXorFec:
+    def test_parity_emitted_once_after_full_generation(self, rng, generation):
+        enc = Encoder(1, generation, rng=rng)  # systematic originals
+        fn = XorFecRelayFunction(1, 0, 4)
+        emissions = [fn.on_packet(enc.next_packet()) for _ in range(4)]
+        assert [len(e) for e in emissions] == [1, 1, 1, 2]
+        parity = emissions[-1][1]
+        assert np.array_equal(parity.coefficients, np.ones(4, dtype=np.uint8))
+
+    def test_parity_repairs_one_loss(self, rng, generation):
+        enc = Encoder(1, generation, rng=rng)
+        fn = XorFecRelayFunction(1, 0, 4)
+        outputs = []
+        for _ in range(4):
+            outputs.extend(fn.on_packet(enc.next_packet()))
+        # Drop one original (index 2); keep the parity.
+        survivors = [p for i, p in enumerate(outputs) if i != 2]
+        dec = Decoder(1, 0, 4, 16)
+        for p in survivors:
+            dec.add(p)
+        assert dec.complete
+        assert dec.decode() == generation
+
+    def test_parity_cannot_repair_two_losses(self, rng, generation):
+        enc = Encoder(1, generation, rng=rng)
+        fn = XorFecRelayFunction(1, 0, 4)
+        outputs = []
+        for _ in range(4):
+            outputs.extend(fn.on_packet(enc.next_packet()))
+        survivors = [p for i, p in enumerate(outputs) if i not in (1, 2)]
+        dec = Decoder(1, 0, 4, 16)
+        for p in survivors:
+            dec.add(p)
+        assert not dec.complete  # the structural gap to RLNC
+
+    def test_wrong_generation_rejected(self, rng, generation):
+        enc = Encoder(1, generation, rng=rng)
+        fn = XorFecRelayFunction(1, 99, 4)
+        with pytest.raises(ValueError):
+            fn.on_packet(enc.next_packet())
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert {"forward", "rlnc", "xor-fec"} <= set(available_functions())
+
+    def test_make_by_name(self):
+        fn = make_relay_function("rlnc", 1, 0, 4)
+        assert isinstance(fn, RlncRelayFunction)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_relay_function("quantum", 1, 0, 4)
+
+    def test_custom_registration(self):
+        class Dummy(ForwardRelayFunction):
+            pass
+
+        register_relay_function("dummy-test", lambda s, g, k: Dummy())
+        try:
+            assert isinstance(make_relay_function("dummy-test", 1, 0, 4), Dummy)
+            with pytest.raises(ValueError):
+                register_relay_function("dummy-test", lambda s, g, k: Dummy())
+        finally:
+            from repro import functions
+
+            functions._REGISTRY.pop("dummy-test", None)

@@ -1,0 +1,171 @@
+"""Dynamic scaling algorithm tests (Alg. 1-3, thresholds, consolidation)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudProvider, DataCenter
+from repro.core import Controller, MulticastSession, ScalingConfig, ScalingEngine
+from repro.core.deployment import DataCenterSpec
+from repro.core.scaling import _ThresholdState
+
+RELAYS = ["O1", "C1", "T", "V2"]
+
+
+@pytest.fixture
+def engine(butterfly_graph, scheduler):
+    providers = {
+        name: CloudProvider(f"p-{name}", scheduler, [DataCenter(name)], rng=np.random.default_rng(9))
+        for name in RELAYS
+    }
+    controller = Controller(
+        butterfly_graph.copy(),
+        [DataCenterSpec(n, 900, 900, 900) for n in RELAYS],
+        scheduler,
+        alpha=1.0,
+        providers=providers,
+    )
+    return ScalingEngine(controller, ScalingConfig(rho1_percent=5.0, tau1_s=60.0, rho2_percent=5.0, tau2_s=60.0, idle_hold_s=60.0))
+
+
+def butterfly_session():
+    return MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=250.0)
+
+
+class TestThresholdState:
+    def test_fires_only_after_hold(self):
+        state = _ThresholdState(reference=100.0)
+        assert not state.update(80.0, now=0.0, rho_percent=5.0, tau_s=60.0)   # deviation starts
+        assert not state.update(80.0, now=30.0, rho_percent=5.0, tau_s=60.0)  # not held long enough
+        assert state.update(80.0, now=61.0, rho_percent=5.0, tau_s=60.0)      # held τ
+
+    def test_spike_resets(self):
+        state = _ThresholdState(reference=100.0)
+        state.update(80.0, now=0.0, rho_percent=5.0, tau_s=60.0)
+        state.update(100.0, now=30.0, rho_percent=5.0, tau_s=60.0)  # back to normal
+        assert not state.update(80.0, now=61.0, rho_percent=5.0, tau_s=60.0)  # timer restarted
+
+    def test_small_change_ignored(self):
+        state = _ThresholdState(reference=100.0)
+        assert not state.update(97.0, now=0.0, rho_percent=5.0, tau_s=0.0)
+
+    def test_accept_rebases(self):
+        state = _ThresholdState(reference=100.0)
+        state.accept(80.0)
+        assert not state.update(80.0, now=0.0, rho_percent=5.0, tau_s=0.0)
+
+
+class TestAlg1Bandwidth:
+    def test_drop_triggers_rescale_after_tau(self, engine, scheduler):
+        engine.on_session_join(butterfly_session())
+        scheduler.run(until=60.0)
+        vnfs_before = sum(engine.controller.required_vnf_counts().values())
+        # Feed halved caps for T over 2 minutes (τ1 = 60 s).
+        assert not engine.on_bandwidth_sample("T", 450.0, 450.0)
+        scheduler.run(until=90.0)
+        assert not engine.on_bandwidth_sample("T", 450.0, 450.0)
+        scheduler.run(until=125.0)
+        fired = engine.on_bandwidth_sample("T", 450.0, 450.0)
+        assert fired
+        assert engine.controller.datacenters["T"].inbound_mbps == 450.0
+        events = [e for e in engine.events if e.kind == "bandwidth"]
+        assert events and events[-1].detail["action"] == "rescaled"
+
+    def test_small_wiggle_never_fires(self, engine, scheduler):
+        engine.on_session_join(butterfly_session())
+        for t in (0, 70, 140):
+            scheduler.run(until=scheduler.now + 70)
+            assert not engine.on_bandwidth_sample("T", 890.0, 905.0)  # ~1% wiggle
+
+    def test_increase_kept_when_not_worth_it(self, engine, scheduler):
+        engine.on_session_join(butterfly_session())
+        scheduler.run(until=60.0)
+        # More per-VNF bandwidth at T doesn't help: links are the bottleneck.
+        engine.on_bandwidth_sample("T", 1800.0, 1800.0)
+        scheduler.run(until=130.0)
+        engine.on_bandwidth_sample("T", 1800.0, 1800.0)
+        scheduler.run(until=200.0)
+        engine.on_bandwidth_sample("T", 1800.0, 1800.0)
+        events = [e for e in engine.events if e.kind == "bandwidth"]
+        assert events
+        assert events[-1].detail["action"] in ("kept", "no-affected-sessions")
+
+
+class TestAlg2Delay:
+    def test_delay_increase_reroutes(self, engine, scheduler):
+        session = butterfly_session()
+        engine.on_session_join(session)
+        scheduler.run(until=60.0)
+        rate_before = engine.controller.lambdas[session.session_id]
+        # T->V2 delay explodes: the 4-hop paths leave the 250 ms budget.
+        assert not engine.on_delay_sample(("T", "V2"), 500.0)
+        scheduler.run(until=130.0)
+        fired = engine.on_delay_sample(("T", "V2"), 500.0)
+        assert fired
+        rate_after = engine.controller.lambdas[session.session_id]
+        assert rate_after < rate_before  # only the 2-hop paths remain
+
+    def test_delay_decrease_expands_paths(self, engine, scheduler):
+        session = MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=70.0)
+        engine.on_session_join(session)
+        scheduler.run(until=60.0)
+        rate_before = engine.controller.lambdas[session.session_id]
+        assert rate_before < 70.0  # long paths infeasible at 70 ms
+        # V1->O1 and V1->C1 become much faster: relayed paths fit again.
+        for edge in (("V1", "O1"), ("V1", "C1")):
+            engine.on_delay_sample(edge, 5.0)
+        scheduler.run(until=130.0)
+        fired = [engine.on_delay_sample(e, 5.0) for e in (("V1", "O1"), ("V1", "C1"))]
+        assert any(fired)
+        assert engine.controller.lambdas[session.session_id] > rate_before
+
+
+class TestAlg3Churn:
+    def test_join_quit_cycle(self, engine, scheduler):
+        s1 = butterfly_session()
+        engine.on_session_join(s1)
+        scheduler.run(until=60.0)
+        result = engine.on_session_quit(s1.session_id)
+        assert result["chosen"] in ("g1", "g2")
+        assert engine.controller.sessions == {}
+
+    def test_quit_frees_capacity_for_remaining(self, engine, scheduler):
+        s1 = butterfly_session()
+        s2 = butterfly_session()
+        engine.on_session_join(s1)
+        engine.on_session_join(s2)
+        scheduler.run(until=60.0)
+        rate_before = engine.controller.lambdas[s2.session_id]
+        engine.on_session_quit(s1.session_id)
+        rate_after = engine.controller.lambdas[s2.session_id]
+        assert rate_after >= rate_before - 1e-6
+
+    def test_events_logged(self, engine, scheduler):
+        s = butterfly_session()
+        engine.on_session_join(s)
+        engine.on_session_quit(s.session_id)
+        kinds = [e.kind for e in engine.events]
+        assert kinds == ["session-join", "session-quit"]
+
+
+class TestConsolidation:
+    def test_idle_vnfs_retired_after_hold(self, engine, scheduler):
+        s = butterfly_session()
+        engine.on_session_join(s)
+        scheduler.run(until=60.0)
+        # Manually over-provision T.
+        controller = engine.controller
+        provider = controller.providers["T"]
+        extra = provider.launch_vm("T")
+        controller.fleet["T"].vms.append(extra)
+        scheduler.run(until=120.0)
+        assert engine.check_utilization() == []  # hold period starts
+        scheduler.run(until=200.0)
+        assert "T" in engine.check_utilization()
+        assert extra.state.value in ("stopping", "terminated")
+
+    def test_busy_fleet_untouched(self, engine, scheduler):
+        engine.on_session_join(butterfly_session())
+        scheduler.run(until=60.0)
+        assert engine.check_utilization() == []
+        scheduler.run(until=200.0)
+        assert engine.check_utilization() == []

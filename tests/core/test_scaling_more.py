@@ -1,0 +1,79 @@
+"""Additional scaling-engine coverage: unaffected samples, event log shape."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudProvider, DataCenter
+from repro.core import Controller, MulticastSession, ScalingConfig, ScalingEngine
+from repro.core.deployment import DataCenterSpec
+
+RELAYS = ["O1", "C1", "T", "V2"]
+
+
+@pytest.fixture
+def engine(butterfly_graph, scheduler):
+    providers = {
+        name: CloudProvider(f"p-{name}", scheduler, [DataCenter(name)], rng=np.random.default_rng(3))
+        for name in RELAYS
+    }
+    controller = Controller(
+        butterfly_graph.copy(),
+        [DataCenterSpec(n, 900, 900, 900) for n in RELAYS],
+        scheduler,
+        alpha=1.0,
+        providers=providers,
+    )
+    return ScalingEngine(controller, ScalingConfig(tau1_s=30.0, tau2_s=30.0))
+
+
+class TestNoSessionPaths:
+    def test_bandwidth_change_with_no_sessions(self, engine, scheduler):
+        # Sustained change but nothing routed: nothing to re-solve.
+        engine.on_bandwidth_sample("T", 400.0, 400.0)
+        scheduler.run(until=60.0)
+        fired = engine.on_bandwidth_sample("T", 400.0, 400.0)
+        assert not fired
+        assert engine.events[-1].detail["action"] == "no-affected-sessions"
+        # The belief was still updated (measurements are truth).
+        assert engine.controller.datacenters["T"].inbound_mbps == 400.0
+
+    def test_delay_change_with_no_sessions(self, engine, scheduler):
+        engine.on_delay_sample(("T", "V2"), 200.0)
+        scheduler.run(until=60.0)
+        fired = engine.on_delay_sample(("T", "V2"), 200.0)
+        assert not fired
+        assert engine.controller.graph.edges[("T", "V2")]["delay_ms"] == 200.0
+
+
+class TestEventLog:
+    def test_events_carry_timestamps(self, engine, scheduler):
+        scheduler.run(until=12.0)
+        session = MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=250.0)
+        engine.on_session_join(session)
+        assert engine.events[-1].time == pytest.approx(12.0)
+
+    def test_bandwidth_events_record_objectives(self, engine, scheduler):
+        session = MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=250.0)
+        engine.on_session_join(session)
+        scheduler.run(until=60.0)
+        engine.on_bandwidth_sample("T", 450.0, 450.0)
+        scheduler.run(until=120.0)
+        engine.on_bandwidth_sample("T", 450.0, 450.0)
+        events = [e for e in engine.events if e.kind == "bandwidth"]
+        assert events
+        assert {"old_objective", "new_objective"} <= set(events[-1].detail) or events[-1].detail[
+            "action"
+        ] == "no-affected-sessions"
+
+
+class TestSessionsNear:
+    def test_interdc_link_affects_all_sessions(self, engine):
+        session = MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=250.0)
+        engine.on_session_join(session)
+        assert session.session_id in engine._sessions_near(("T", "V2"))
+
+    def test_endpoint_link_affects_only_its_session(self, engine):
+        s1 = MulticastSession(source="V1", receivers=["O2"], max_delay_ms=250.0)
+        engine.on_session_join(s1)
+        near = engine._sessions_near(("V2", "O2"))
+        assert s1.session_id in near

@@ -1,0 +1,67 @@
+"""Hypothesis property tests: GF(2^8) is actually a field."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF256, gf_rank
+
+element = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+@given(a=element, b=element, c=element)
+def test_mul_associative(a, b, c):
+    assert int(GF256.mul(GF256.mul(a, b), c)) == int(GF256.mul(a, GF256.mul(b, c)))
+
+
+@given(a=element, b=element, c=element)
+def test_distributive(a, b, c):
+    lhs = GF256.mul(a, GF256.add(b, c))
+    rhs = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+    assert int(lhs) == int(rhs)
+
+
+@given(a=nonzero)
+def test_inverse(a):
+    assert int(GF256.mul(a, GF256.inv(a))) == 1
+
+
+@given(a=element, b=nonzero)
+def test_division_consistent(a, b):
+    q = GF256.div(a, b)
+    assert int(GF256.mul(q, b)) == a
+
+
+@given(a=element, b=element)
+def test_addition_forms_group(a, b):
+    # Closure + inverse (self) + identity.
+    s = GF256.add(a, b)
+    assert 0 <= int(s) < 256
+    assert int(GF256.add(s, b)) == a  # subtracting b recovers a
+
+
+@given(
+    coeffs=st.lists(element, min_size=2, max_size=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_linear_combination_matches_naive(coeffs, seed):
+    rng = np.random.default_rng(seed)
+    k = len(coeffs)
+    blocks = GF256.random_elements(rng, (k, 16))
+    coeffs = np.array(coeffs, dtype=np.uint8)
+    fast = GF256.linear_combination(coeffs, blocks)
+    naive = np.zeros(16, dtype=np.uint8)
+    for c, row in zip(coeffs, blocks):
+        naive = GF256.add(naive, GF256.mul(c, row))
+    assert np.array_equal(fast, naive)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), n=st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_rank_bounded(seed, n):
+    rng = np.random.default_rng(seed)
+    m = GF256.random_elements(rng, (n, n + 1))
+    r = gf_rank(GF256, m)
+    assert 0 <= r <= n

@@ -1,0 +1,136 @@
+"""Unit tests for GF(2^w) linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.gf import (
+    GF16,
+    GF256,
+    gf_inverse,
+    gf_matmul,
+    gf_matvec,
+    gf_rank,
+    gf_rref,
+    gf_solve,
+    is_invertible,
+)
+
+
+def random_invertible(field, n, rng):
+    while True:
+        m = field.random_elements(rng, (n, n))
+        if gf_rank(field, m) == n:
+            return m
+
+
+class TestMatmul:
+    def test_identity(self, rng):
+        m = GF256.random_elements(rng, (4, 4))
+        eye = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(GF256, m, eye), m)
+        assert np.array_equal(gf_matmul(GF256, eye, m), m)
+
+    def test_matvec_consistent_with_matmul(self, rng):
+        m = GF256.random_elements(rng, (5, 3))
+        v = GF256.random_elements(rng, 3)
+        assert np.array_equal(gf_matvec(GF256, m, v), gf_matmul(GF256, m, v[:, None]).ravel())
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            gf_matmul(GF256, GF256.random_elements(rng, (2, 3)), GF256.random_elements(rng, (2, 3)))
+
+    def test_associativity(self, rng):
+        a = GF256.random_elements(rng, (3, 4))
+        b = GF256.random_elements(rng, (4, 2))
+        c = GF256.random_elements(rng, (2, 5))
+        assert np.array_equal(
+            gf_matmul(GF256, gf_matmul(GF256, a, b), c),
+            gf_matmul(GF256, a, gf_matmul(GF256, b, c)),
+        )
+
+
+class TestRank:
+    def test_zero_matrix(self):
+        assert gf_rank(GF256, np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_identity_full_rank(self):
+        assert gf_rank(GF256, np.eye(6, dtype=np.uint8)) == 6
+
+    def test_duplicated_row_reduces_rank(self, rng):
+        m = random_invertible(GF256, 4, rng)
+        stacked = np.vstack([m, m[0]])
+        assert gf_rank(GF256, stacked) == 4
+
+    def test_scaled_row_not_innovative(self, rng):
+        m = random_invertible(GF256, 3, rng)
+        scaled = GF256.scale(7, m[1])
+        assert gf_rank(GF256, np.vstack([m, scaled])) == 3
+
+    def test_empty(self):
+        assert gf_rank(GF256, np.zeros((0, 4), dtype=np.uint8)) == 0
+
+
+class TestRref:
+    def test_pivots_are_unit_columns(self, rng):
+        m = GF256.random_elements(rng, (4, 6))
+        r, pivots = gf_rref(GF256, m)
+        for row, col in enumerate(pivots):
+            expected = np.zeros(4, dtype=np.uint8)
+            expected[row] = 1
+            assert np.array_equal(r[:, col], expected)
+
+    def test_rref_idempotent(self, rng):
+        m = GF256.random_elements(rng, (4, 6))
+        r1, p1 = gf_rref(GF256, m)
+        r2, p2 = gf_rref(GF256, r1)
+        assert np.array_equal(r1, r2)
+        assert p1 == p2
+
+
+class TestInverse:
+    def test_inverse_roundtrip(self, rng):
+        for n in (1, 2, 4, 8):
+            m = random_invertible(GF256, n, rng)
+            inv = gf_inverse(GF256, m)
+            assert np.array_equal(gf_matmul(GF256, m, inv), np.eye(n, dtype=np.uint8))
+            assert np.array_equal(gf_matmul(GF256, inv, m), np.eye(n, dtype=np.uint8))
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_inverse(GF256, singular)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gf_inverse(GF256, GF256.random_elements(rng, (2, 3)))
+
+    def test_is_invertible(self, rng):
+        assert is_invertible(GF256, random_invertible(GF256, 3, rng))
+        assert not is_invertible(GF256, np.zeros((3, 3), dtype=np.uint8))
+        assert not is_invertible(GF256, np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestSolve:
+    def test_solve_vector(self, rng):
+        a = random_invertible(GF256, 5, rng)
+        x = GF256.random_elements(rng, 5)
+        b = gf_matvec(GF256, a, x)
+        assert np.array_equal(gf_solve(GF256, a, b), x)
+
+    def test_solve_matrix_rhs(self, rng):
+        # Multi-column RHS is exactly RLNC payload recovery.
+        a = random_invertible(GF256, 4, rng)
+        x = GF256.random_elements(rng, (4, 100))
+        b = gf_matmul(GF256, a, x)
+        assert np.array_equal(gf_solve(GF256, a, b), x)
+
+    def test_singular_raises(self, rng):
+        a = np.zeros((3, 3), dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_solve(GF256, a, np.zeros(3, dtype=np.uint8))
+
+    def test_small_field(self, rng):
+        a = random_invertible(GF16, 4, rng)
+        x = GF16.random_elements(rng, 4)
+        b = gf_matvec(GF16, a, x)
+        assert np.array_equal(gf_solve(GF16, a, b), x)

@@ -1,0 +1,83 @@
+"""Cross-checks tying independent components together."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF256, gf_solve
+from repro.rlnc import Decoder, Encoder, Generation
+
+
+class TestDecoderVsDirectSolve:
+    """The progressive decoder must agree with one-shot Gaussian solve."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_agreement(self, k, rng):
+        gen = Generation(0, rng.integers(0, 256, (k, 32), dtype=np.uint8))
+        enc = Encoder(1, gen, systematic=False, rng=rng)
+        packets = []
+        dec = Decoder(1, 0, k, 32)
+        while not dec.complete:
+            p = enc.next_packet()
+            if dec.add(p):
+                packets.append(p)  # keep only the innovative ones
+        progressive = dec.decode()
+
+        coeff_matrix = np.stack([p.coefficients for p in packets])
+        payload_matrix = np.stack([p.payload for p in packets])
+        direct = gf_solve(GF256, coeff_matrix, payload_matrix)
+        assert np.array_equal(progressive.blocks, direct)
+
+
+class TestCapacityConsistency:
+    """The LP, the max-flow bound and the packing bound must cohere."""
+
+    def test_lp_never_beats_maxflow(self, butterfly_graph, rng):
+        from repro.core.deployment import DataCenterSpec, DeploymentProblem
+        from repro.core.session import MulticastSession
+        from repro.routing import multicast_capacity
+
+        dcs = [DataCenterSpec(n, 900, 900, 900) for n in ["O1", "C1", "T", "V2"]]
+        problem = DeploymentProblem(butterfly_graph, dcs, alpha=0.0)
+        for receivers in (["O2"], ["C2"], ["O2", "C2"]):
+            session = MulticastSession(source="V1", receivers=list(receivers), max_delay_ms=250.0)
+            plan = problem.solve([problem.build_demand(session)])
+            bound = multicast_capacity(butterfly_graph, "V1", receivers)
+            assert plan.lambdas[session.session_id] <= bound + 1e-6
+
+    def test_lp_matches_maxflow_with_free_vnfs(self, butterfly_graph):
+        # α = 0 and generous capacity: the conceptual-flow LP equals the
+        # information-theoretic bound (Li-Li-Lau).
+        from repro.core.deployment import DataCenterSpec, DeploymentProblem
+        from repro.core.session import MulticastSession
+        from repro.routing import multicast_capacity
+
+        dcs = [DataCenterSpec(n, 900, 900, 900) for n in ["O1", "C1", "T", "V2"]]
+        problem = DeploymentProblem(butterfly_graph, dcs, alpha=0.0)
+        session = MulticastSession(source="V1", receivers=["O2", "C2"], max_delay_ms=250.0)
+        plan = problem.solve([problem.build_demand(session)])
+        assert plan.lambdas[session.session_id] == pytest.approx(
+            multicast_capacity(butterfly_graph, "V1", ["O2", "C2"]), rel=1e-6
+        )
+
+    def test_packing_upper_bounded_by_lp(self, butterfly_graph):
+        from repro.routing import tree_packing_rate
+
+        packing = tree_packing_rate(
+            butterfly_graph, "V1", ["O2", "C2"], relay_nodes={"O1", "C1", "T", "V2"}
+        )
+        assert packing <= 70.0
+
+
+class TestHeaderMtuInvariant:
+    """Any (block size, k) respecting the paper's sizing fills the MTU."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+    def test_mtu_budget(self, k):
+        from repro.net.packet import IP_HEADER_BYTES, UDP_HEADER_BYTES
+        from repro.rlnc.header import FIXED_HEADER_BYTES
+
+        block = 1500 - IP_HEADER_BYTES - UDP_HEADER_BYTES - FIXED_HEADER_BYTES - k
+        overhead = FIXED_HEADER_BYTES + k + UDP_HEADER_BYTES + IP_HEADER_BYTES
+        assert block + overhead == 1500
+        if k == 4:
+            assert block == 1460  # the paper's exact numbers

@@ -1,0 +1,102 @@
+"""LP layer edge cases and the rounding helper's apply path."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram
+from repro.lp.model import Solution
+from repro.lp.rounding import apply_rounding, round_up_integers
+from repro.lp.simplex import solve_simplex
+
+
+class TestSimplexEdgeCases:
+    def test_single_variable_bound_only(self):
+        res = solve_simplex(c=np.array([3.0]), bounds=[(1.0, 2.0)])
+        assert res.success and res.x[0] == pytest.approx(1.0)
+
+    def test_maximization_via_negation(self):
+        res = solve_simplex(c=np.array([-1.0]), bounds=[(0.0, 7.0)])
+        assert res.success and res.x[0] == pytest.approx(7.0)
+        assert res.objective == pytest.approx(-7.0)
+
+    def test_redundant_equality_rows(self):
+        # The same constraint twice: phase-1 leaves a redundant row whose
+        # artificial variable must be driven out (or recognized as zero).
+        res = solve_simplex(
+            c=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, 1.0], [2.0, 2.0]]),
+            b_eq=np.array([4.0, 8.0]),
+            bounds=[(0, None)] * 2,
+        )
+        assert res.success
+        assert res.objective == pytest.approx(4.0)
+
+    def test_tight_bounds_equal(self):
+        res = solve_simplex(c=np.array([1.0]), bounds=[(3.0, 3.0)])
+        assert res.success and res.x[0] == pytest.approx(3.0)
+
+    def test_free_lower_bound_rejected(self):
+        with pytest.raises(ValueError):
+            solve_simplex(c=np.array([1.0]), bounds=[(None, 1.0)])
+
+    def test_mixed_rows(self):
+        res = solve_simplex(
+            c=np.array([-1.0, -1.0]),
+            a_ub=np.array([[1.0, 0.0]]),
+            b_ub=np.array([2.0]),
+            a_eq=np.array([[0.0, 1.0]]),
+            b_eq=np.array([3.0]),
+            bounds=[(0, None), (0, None)],
+        )
+        assert res.success
+        assert res.x == pytest.approx([2.0, 3.0])
+
+
+class TestRoundingHelpers:
+    def test_apply_rounding_replaces_values(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", integer=True)
+        y = lp.add_variable("y")
+        solution = Solution(objective=1.0, values={x: 1.4, y: 0.6})
+        rounded = round_up_integers(solution)
+        applied = apply_rounding(solution, rounded)
+        assert applied[x] == 2.0
+        assert applied[y] == 0.6
+
+    def test_tolerance_boundary(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", integer=True)
+        s_low = Solution(objective=0.0, values={x: 1.0 + 5e-7})
+        s_high = Solution(objective=0.0, values={x: 1.1})
+        assert round_up_integers(s_low)[x] == 1
+        assert round_up_integers(s_high)[x] == 2
+
+    def test_exact_integers_untouched(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", integer=True)
+        s = Solution(objective=0.0, values={x: 3.0})
+        assert round_up_integers(s)[x] == 3
+
+
+class TestModelMiscellany:
+    def test_expression_repr(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        assert "x" in repr(2 * x + 1)
+
+    def test_zero_expression(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = x - x
+        assert expr.value({x: 5.0}) == 0.0
+
+    def test_rsub(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = 10 - (x + 2)
+        assert expr.value({x: 3.0}) == pytest.approx(5.0)
+
+    def test_program_repr(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        assert "1 vars" in repr(lp)

@@ -1,0 +1,144 @@
+"""LP modeling layer tests."""
+
+import pytest
+
+from repro.lp import LinearProgram, LinExpr, SolveError
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        expr = 2 * x + y - 3
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == 1.0
+        assert expr.constant == -3.0
+
+    def test_subtraction_and_negation(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = 5 - x
+        assert expr.terms[x] == -1.0
+        assert expr.constant == 5.0
+
+    def test_scaling(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = (x + 1) * 4
+        assert expr.terms[x] == 4.0
+        assert expr.constant == 4.0
+
+    def test_nonlinear_rejected(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        with pytest.raises(TypeError):
+            x * x
+
+    def test_value_evaluation(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        expr = 3 * x + 2
+        assert expr.value({x: 4.0}) == pytest.approx(14.0)
+
+    def test_constraint_senses(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        assert (x <= 5).sense == "<="
+        assert (x >= 5).sense == ">="
+        assert x.eq(5).sense == "=="
+
+    def test_constraint_violation(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        con = x <= 5
+        assert con.violation({x: 4.0}) == 0.0
+        assert con.violation({x: 7.0}) == pytest.approx(2.0)
+
+
+class TestSolving:
+    def test_simple_max(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=4)
+        y = lp.add_variable("y", upper=3)
+        lp.add_constraint(x + 2 * y <= 8)
+        lp.maximize(3 * x + 5 * y)
+        s = lp.solve()
+        assert s.objective == pytest.approx(22.0)
+        assert s[x] == pytest.approx(4.0)
+        assert s[y] == pytest.approx(2.0)
+
+    def test_minimize(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", lower=2)
+        lp.minimize(x)
+        assert lp.solve().objective == pytest.approx(2.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        lp.add_constraint(x.eq(3))
+        lp.add_constraint((x + y).eq(10))
+        lp.maximize(0 * x)
+        s = lp.solve()
+        assert s[y] == pytest.approx(7.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=1)
+        lp.add_constraint(x >= 2)
+        lp.maximize(x)
+        with pytest.raises(SolveError):
+            lp.solve()
+
+    def test_no_objective_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(SolveError):
+            lp.solve()
+
+    def test_foreign_variable_rejected(self):
+        lp1 = LinearProgram()
+        lp2 = LinearProgram()
+        x = lp1.add_variable("x")
+        with pytest.raises(ValueError):
+            lp2.add_constraint(x <= 1)
+
+    def test_solution_value_of_expression(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=2)
+        lp.maximize(x)
+        s = lp.solve()
+        assert s.value(2 * x + 1) == pytest.approx(5.0)
+
+    def test_unknown_backend(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=1)
+        lp.maximize(x)
+        with pytest.raises(ValueError):
+            lp.solve(backend="gurobi")
+
+
+class TestRounding:
+    def test_round_up_fractional(self):
+        from repro.lp import round_up_integers
+
+        lp = LinearProgram()
+        x = lp.add_variable("x", integer=True, upper=10)
+        y = lp.add_variable("y")
+        lp.add_constraint(2 * x >= 3)  # LP relaxation: x = 1.5
+        lp.minimize(x + 0 * y)
+        s = lp.solve()
+        rounded = round_up_integers(s)
+        assert rounded[x] == 2
+        assert y not in rounded  # continuous vars untouched
+
+    def test_near_integer_snaps(self):
+        from repro.lp import round_up_integers
+        from repro.lp.model import Solution
+
+        lp = LinearProgram()
+        x = lp.add_variable("x", integer=True)
+        s = Solution(objective=0.0, values={x: 2.0000001})
+        assert round_up_integers(s)[x] == 2

@@ -1,0 +1,78 @@
+"""FIFO generation buffer tests (paper Fig. 5 semantics)."""
+
+import pytest
+
+from repro.net.buffer import DEFAULT_BUFFER_GENERATIONS, GenerationBuffer
+
+
+class TestBasics:
+    def test_paper_default(self):
+        assert DEFAULT_BUFFER_GENERATIONS == 1024
+        assert GenerationBuffer().capacity_generations == 1024
+
+    def test_add_and_query(self):
+        buf = GenerationBuffer(4)
+        buf.add(0, "p0")
+        buf.add(0, "p1")
+        assert len(buf) == 1
+        assert buf.packets(0) == ["p0", "p1"]
+        assert 0 in buf
+        assert 1 not in buf
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GenerationBuffer(0)
+
+
+class TestFifoEviction:
+    def test_oldest_generation_evicted(self):
+        buf = GenerationBuffer(2)
+        buf.add(0, "a")
+        buf.add(1, "b")
+        buf.add(2, "c")  # evicts generation 0
+        assert 0 not in buf
+        assert list(buf.generations()) == [1, 2]
+        assert buf.evicted_generations == 1
+
+    def test_existing_generation_never_evicts(self):
+        buf = GenerationBuffer(2)
+        buf.add(0, "a")
+        buf.add(1, "b")
+        for i in range(10):
+            buf.add(1, f"x{i}")
+        assert 0 in buf  # adding to gen 1 must not evict gen 0
+
+    def test_eviction_order_is_insertion_order(self):
+        buf = GenerationBuffer(3)
+        for g in (5, 3, 9):  # insertion order, not numeric order
+            buf.add(g, "p")
+        buf.add(1, "p")
+        assert 5 not in buf
+        assert list(buf.generations()) == [3, 9, 1]
+
+    def test_packet_count_tracks_eviction(self):
+        buf = GenerationBuffer(1)
+        buf.add(0, "a")
+        buf.add(0, "b")
+        assert buf.stored_packets == 2
+        buf.add(1, "c")
+        assert buf.stored_packets == 1
+
+
+class TestRelease:
+    def test_release_removes(self):
+        buf = GenerationBuffer(4)
+        buf.add(3, "x")
+        assert buf.release(3) == ["x"]
+        assert 3 not in buf
+        assert buf.stored_packets == 0
+
+    def test_release_missing_is_empty(self):
+        assert GenerationBuffer(4).release(7) == []
+
+    def test_clear(self):
+        buf = GenerationBuffer(4)
+        buf.add(0, "x")
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.stored_packets == 0

@@ -1,0 +1,99 @@
+"""Event scheduler tests."""
+
+import pytest
+
+from repro.net.events import EventScheduler
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self, scheduler):
+        fired = []
+        scheduler.schedule(2.0, fired.append, "b")
+        scheduler.schedule(1.0, fired.append, "a")
+        scheduler.schedule(3.0, fired.append, "c")
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self, scheduler):
+        fired = []
+        for name in "abc":
+            scheduler.schedule(1.0, fired.append, name)
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, scheduler):
+        times = []
+        scheduler.schedule(1.5, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [1.5]
+
+    def test_negative_delay_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self, scheduler):
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        assert scheduler.now == 1.0
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run()
+        assert scheduler.now == 5.0
+
+    def test_events_scheduled_during_run(self, scheduler):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                scheduler.schedule(1.0, chain, n + 1)
+
+        scheduler.schedule(0.0, chain, 0)
+        scheduler.run()
+        assert fired == [0, 1, 2, 3]
+        assert scheduler.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, scheduler):
+        fired = []
+        event = scheduler.schedule(1.0, fired.append, "x")
+        event.cancel()
+        scheduler.run()
+        assert fired == []
+
+    def test_pending_count_excludes_cancelled(self, scheduler):
+        e1 = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        assert scheduler.pending == 2
+        e1.cancel()
+        assert scheduler.pending == 1
+
+
+class TestRunUntil:
+    def test_stops_at_until(self, scheduler):
+        fired = []
+        scheduler.schedule(1.0, fired.append, "a")
+        scheduler.schedule(5.0, fired.append, "b")
+        scheduler.run(until=3.0)
+        assert fired == ["a"]
+        assert scheduler.now == 3.0  # clock advanced even with no event at 3
+
+    def test_resume_after_until(self, scheduler):
+        fired = []
+        scheduler.schedule(5.0, fired.append, "b")
+        scheduler.run(until=3.0)
+        scheduler.run()
+        assert fired == ["b"]
+
+    def test_max_events(self, scheduler):
+        fired = []
+        for i in range(10):
+            scheduler.schedule(float(i), fired.append, i)
+        scheduler.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_processed_counter(self, scheduler):
+        for i in range(5):
+            scheduler.schedule(float(i), lambda: None)
+        scheduler.run()
+        assert scheduler.processed == 5

@@ -1,0 +1,141 @@
+"""Link model tests: serialization, queueing, loss, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.net.events import EventScheduler
+from repro.net.link import Link
+from repro.net.loss import UniformLoss
+from repro.net.packet import Datagram
+
+
+def make_link(scheduler, capacity_mbps=8.0, delay_ms=10.0, **kwargs):
+    link = Link(
+        scheduler,
+        "a",
+        "b",
+        capacity_bps=capacity_mbps * 1e6,
+        delay_s=delay_ms / 1e3,
+        rng=np.random.default_rng(5),
+        **kwargs,
+    )
+    delivered = []
+    link.connect(delivered.append)
+    return link, delivered
+
+
+def dgram(payload_bytes=972):
+    # 972 + 28 headers = 1000 wire bytes = 8000 bits: neat numbers.
+    return Datagram(src="a", dst="b", payload="x", payload_bytes=payload_bytes)
+
+
+class TestDelivery:
+    def test_arrival_time(self, scheduler):
+        link, delivered = make_link(scheduler)  # 8 Mbps, 10 ms
+        link.send(dgram())  # 8000 bits / 8 Mbps = 1 ms tx
+        scheduler.run()
+        assert delivered
+        assert scheduler.now == pytest.approx(0.001 + 0.010)
+
+    def test_back_to_back_serialization(self, scheduler):
+        link, delivered = make_link(scheduler)
+        link.send(dgram())
+        link.send(dgram())
+        scheduler.run()
+        # Second packet starts transmitting after the first: 2 ms + 10 ms.
+        assert scheduler.now == pytest.approx(0.012)
+        assert len(delivered) == 2
+
+    def test_fifo_order(self, scheduler):
+        link, delivered = make_link(scheduler)
+        for i in range(5):
+            d = dgram()
+            d.payload = i
+            link.send(d)
+        scheduler.run()
+        assert [d.payload for d in delivered] == list(range(5))
+
+    def test_unconnected_link_raises(self, scheduler):
+        link = Link(scheduler, "a", "b", 1e6, 0.01)
+        with pytest.raises(RuntimeError):
+            link.send(dgram())
+
+
+class TestQueueing:
+    def test_drop_tail(self, scheduler):
+        link, delivered = make_link(scheduler, queue_bytes=2500)
+        results = [link.send(dgram()) for _ in range(5)]  # 1000 B wire each
+        assert results == [True, True, False, False, False]
+        scheduler.run()
+        assert len(delivered) == 2
+        assert link.stats.dropped_queue == 3
+
+    def test_backlog_drains(self, scheduler):
+        link, _ = make_link(scheduler, queue_bytes=10_000)
+        for _ in range(3):
+            link.send(dgram())
+        assert link.backlog_bytes == 3000
+        scheduler.run()
+        assert link.backlog_bytes == 0
+
+
+class TestLoss:
+    def test_lossy_link_drops_fraction(self, scheduler):
+        link, delivered = make_link(scheduler, loss=UniformLoss(0.5), queue_bytes=10**9)
+        for _ in range(2000):
+            link.send(dgram())
+        scheduler.run()
+        assert 800 < len(delivered) < 1200
+        assert link.stats.dropped_loss == 2000 - len(delivered)
+
+    def test_stats_accounting(self, scheduler):
+        link, delivered = make_link(scheduler)
+        link.send(dgram())
+        scheduler.run()
+        assert link.stats.sent_packets == 1
+        assert link.stats.delivered_packets == 1
+        assert link.stats.sent_bytes == 1000
+
+
+class TestDynamics:
+    def test_capacity_change_applies_to_new_packets(self, scheduler):
+        link, _ = make_link(scheduler)
+        link.send(dgram())
+        scheduler.run()
+        t1 = scheduler.now
+        link.set_capacity(4e6)  # half speed
+        link.send(dgram())
+        scheduler.run()
+        assert scheduler.now - t1 == pytest.approx(0.002 + 0.010)
+
+    def test_invalid_updates_rejected(self, scheduler):
+        link, _ = make_link(scheduler)
+        with pytest.raises(ValueError):
+            link.set_capacity(0)
+        with pytest.raises(ValueError):
+            link.set_delay(-1)
+
+    def test_jitter_bounds_delay(self, scheduler):
+        link, delivered = make_link(scheduler, jitter_s=0.005, queue_bytes=10**9)
+        times = []
+        link.connect(lambda d: times.append(scheduler.now))
+        sent_at = []
+        for i in range(200):
+            scheduler.schedule(i * 0.01, link.send, dgram())
+            sent_at.append(i * 0.01)
+        scheduler.run()
+        lags = [t - s for t, s in zip(times, sent_at)]
+        assert all(0.011 - 1e-9 <= lag <= 0.016 + 1e-9 for lag in lags)
+        assert max(lags) - min(lags) > 0.002  # jitter actually varies
+
+    def test_jitter_can_reorder(self):
+        scheduler = EventScheduler()
+        link = Link(scheduler, "a", "b", 1e9, 0.01, jitter_s=0.02, rng=np.random.default_rng(3))
+        order = []
+        link.connect(lambda d: order.append(d.payload))
+        for i in range(50):
+            d = dgram()
+            d.payload = i
+            link.send(d)
+        scheduler.run()
+        assert order != sorted(order)

@@ -1,0 +1,109 @@
+"""Loss-model tests: i.i.d., burst (netem-style), literal recursion."""
+
+import numpy as np
+import pytest
+
+from repro.net.loss import BurstLoss, CompositeLoss, LiteralRecursionLoss, NoLoss, UniformLoss
+
+
+def drop_series(model, rng, n=20000):
+    return np.array([model.drop(rng) for _ in range(n)])
+
+
+class TestNoLoss:
+    def test_never_drops(self, rng):
+        assert not drop_series(NoLoss(), rng, 1000).any()
+
+
+class TestUniformLoss:
+    def test_rate_zero(self, rng):
+        assert not drop_series(UniformLoss(0.0), rng, 1000).any()
+
+    def test_rate_one(self, rng):
+        assert drop_series(UniformLoss(1.0), rng, 100).all()
+
+    def test_empirical_rate(self, rng):
+        drops = drop_series(UniformLoss(0.2), rng)
+        assert drops.mean() == pytest.approx(0.2, abs=0.02)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            UniformLoss(1.5)
+        with pytest.raises(ValueError):
+            UniformLoss(-0.1)
+
+    def test_independence(self, rng):
+        # Autocorrelation of consecutive drops should be ~0.
+        drops = drop_series(UniformLoss(0.3), rng).astype(float)
+        corr = np.corrcoef(drops[:-1], drops[1:])[0, 1]
+        assert abs(corr) < 0.03
+
+
+class TestBurstLoss:
+    def test_stationary_rate_close_to_p(self, rng):
+        model = BurstLoss(p=0.05, correlation=0.25)
+        drops = drop_series(model, rng, 50000)
+        assert drops.mean() == pytest.approx(model.stationary_rate(), abs=0.01)
+
+    def test_drops_are_correlated(self, rng):
+        model = BurstLoss(p=0.1, correlation=0.5)
+        drops = drop_series(model, rng, 50000).astype(float)
+        corr = np.corrcoef(drops[:-1], drops[1:])[0, 1]
+        assert corr > 0.1  # clearly positive: bursts
+
+    def test_reset_clears_state(self, rng):
+        model = BurstLoss(p=0.0, correlation=0.9)
+        model._prev_dropped = True
+        model.reset()
+        assert not model._prev_dropped
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BurstLoss(p=2.0)
+        with pytest.raises(ValueError):
+            BurstLoss(p=0.1, correlation=1.0)
+
+    def test_zero_p_zero_drops(self, rng):
+        assert not drop_series(BurstLoss(p=0.0), rng, 1000).any()
+
+
+class TestLiteralRecursion:
+    def test_converges_to_limit(self, rng):
+        model = LiteralRecursionLoss(p=0.03, correlation=0.25)
+        drops = drop_series(model, rng, 50000)
+        assert drops.mean() == pytest.approx(model.limit_rate(), abs=0.01)
+        assert model.limit_rate() == pytest.approx(0.04)
+
+    def test_p0_starts_at_zero(self, rng):
+        model = LiteralRecursionLoss(p=0.5, correlation=0.25)
+        # First packet: P_1 = 0.25 * 0 + 0.5 = 0.5 exactly.
+        assert model._prob == 0.0
+        model.drop(rng)
+        assert model._prob == pytest.approx(0.5)
+
+    def test_reset(self, rng):
+        model = LiteralRecursionLoss(p=0.5)
+        model.drop(rng)
+        model.reset()
+        assert model._prob == 0.0
+
+
+class TestComposite:
+    def test_any_component_drops(self, rng):
+        model = CompositeLoss(UniformLoss(0.0), UniformLoss(1.0))
+        assert drop_series(model, rng, 50).all()
+
+    def test_rate_composes(self, rng):
+        model = CompositeLoss(UniformLoss(0.1), UniformLoss(0.1))
+        drops = drop_series(model, rng, 50000)
+        assert drops.mean() == pytest.approx(1 - 0.9 * 0.9, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeLoss()
+
+    def test_reset_propagates(self, rng):
+        burst = BurstLoss(p=0.5)
+        burst._prev_dropped = True
+        CompositeLoss(burst).reset()
+        assert not burst._prev_dropped

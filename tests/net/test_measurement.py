@@ -1,0 +1,123 @@
+"""Measurement plane tests: ping, iperf-style probe, periodic sampler."""
+
+import numpy as np
+import pytest
+
+from repro.net import LinkSpec, Topology
+from repro.net.measurement import (
+    BandwidthProbe,
+    MeasurementService,
+    Pinger,
+    path_one_way_delay,
+    path_rtt,
+)
+
+
+@pytest.fixture
+def line_topology():
+    topo = Topology(rng=np.random.default_rng(2))
+    for name in ("a", "b", "c"):
+        topo.add_node(name)
+    topo.add_duplex("a", "b", capacity_mbps=100.0, delay_ms=10.0)
+    topo.add_duplex("b", "c", capacity_mbps=50.0, delay_ms=20.0)
+    return topo
+
+
+class TestAnalyticDelay:
+    def test_one_way(self, line_topology):
+        d = path_one_way_delay(line_topology, ["a", "b", "c"], payload_bytes=972)
+        tx = 1000 * 8 / 100e6 + 1000 * 8 / 50e6
+        assert d == pytest.approx(0.030 + tx)
+
+    def test_rtt_symmetric(self, line_topology):
+        assert path_rtt(line_topology, ["a", "b", "c"]) == pytest.approx(
+            2 * path_one_way_delay(line_topology, ["a", "b", "c"])
+        )
+
+    def test_short_path_rejected(self, line_topology):
+        with pytest.raises(ValueError):
+            path_one_way_delay(line_topology, ["a"])
+
+
+class TestPinger:
+    def test_rtt_matches_analytic(self, line_topology):
+        pinger = Pinger(line_topology.get("a"), "b")
+        Pinger.install_responder(line_topology.get("b"))
+        for i in range(3):
+            line_topology.scheduler.schedule(i * 0.1, pinger.probe)
+        line_topology.run()
+        stats = pinger.stats_ms()
+        assert stats["average"] == pytest.approx(path_rtt(line_topology, ["a", "b"]) * 1e3, rel=0.01)
+
+    def test_no_samples_raises(self, line_topology):
+        pinger = Pinger(line_topology.get("a"), "b")
+        with pytest.raises(RuntimeError):
+            pinger.stats_ms()
+
+
+class TestBandwidthProbe:
+    def test_measures_bottleneck(self, line_topology):
+        probe = BandwidthProbe(line_topology.get("b"), line_topology.get("c"))
+        probe.run(duration_s=1.0, offered_rate_bps=200e6)  # over-drive the 50 Mbps link
+        line_topology.run()
+        measured = probe.measured_bps()
+        assert measured <= 50e6 * 1.02
+        assert measured >= 20e6  # queue limits what gets through, but it's substantial
+
+    def test_underdriven_measures_offered(self, line_topology):
+        probe = BandwidthProbe(line_topology.get("a"), line_topology.get("b"), payload_bytes=972)
+        probe.run(duration_s=1.0, offered_rate_bps=10e6)
+        line_topology.run()
+        assert probe.measured_bps() == pytest.approx(10e6, rel=0.05)
+
+    def test_invalid_args(self, line_topology):
+        probe = BandwidthProbe(line_topology.get("a"), line_topology.get("b"))
+        with pytest.raises(ValueError):
+            probe.run(0, 1e6)
+
+
+class TestMeasurementService:
+    def test_periodic_reports(self, line_topology):
+        reports = []
+        service = MeasurementService(
+            line_topology,
+            lambda now, key, bw, delay: reports.append((now, key, bw, delay)),
+            interval_s=10.0,
+        )
+        service.start()
+        line_topology.run(until=35.0)
+        # 3 ticks × 4 links.
+        assert len(reports) == 12
+        times = sorted({r[0] for r in reports})
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_reports_live_values(self, line_topology):
+        reports = {}
+        service = MeasurementService(
+            line_topology, lambda now, key, bw, delay: reports.__setitem__(key, (bw, delay)), interval_s=5.0
+        )
+        service.start()
+        line_topology.run(until=6.0)
+        assert reports[("a", "b")] == (pytest.approx(100.0), pytest.approx(10.0))
+
+    def test_stop(self, line_topology):
+        count = []
+        service = MeasurementService(line_topology, lambda *a: count.append(1), interval_s=5.0)
+        service.start()
+        line_topology.run(until=6.0)
+        service.stop()
+        line_topology.run(until=30.0)
+        assert len(count) == 4  # one tick × 4 links only
+
+    def test_noise(self, line_topology):
+        values = []
+        service = MeasurementService(
+            line_topology,
+            lambda now, key, bw, delay: values.append(bw),
+            interval_s=1.0,
+            noise_std=0.1,
+            rng=np.random.default_rng(0),
+        )
+        service.start()
+        line_topology.run(until=20.0)
+        assert len(set(values)) > 5  # noisy, not constant

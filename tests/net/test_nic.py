@@ -1,0 +1,57 @@
+"""NIC cost-model tests: DPDK poll mode vs interrupts (paper §III-B2)."""
+
+import pytest
+
+from repro.net.nic import InterruptNic, PollModeNic
+
+
+class TestPollMode:
+    def test_constant_cost(self):
+        nic = PollModeNic()
+        assert nic.cpu_seconds_per_packet(0) == nic.cpu_seconds_per_packet(1e6)
+
+    def test_max_rate(self):
+        nic = PollModeNic(cycles_per_packet=100, cpu_hz=1e9)
+        assert nic.max_packet_rate() == pytest.approx(1e7)
+
+    def test_throughput_ceiling(self):
+        nic = PollModeNic(cycles_per_packet=100, cpu_hz=1e9)
+        assert nic.max_throughput_bps(1500) == pytest.approx(1e7 * 1500 * 8)
+
+    def test_cpu_share(self):
+        nic = PollModeNic()
+        assert nic.max_packet_rate(0.5) == pytest.approx(nic.max_packet_rate() / 2)
+
+    def test_invalid_inputs(self):
+        nic = PollModeNic()
+        with pytest.raises(ValueError):
+            nic.cpu_seconds_per_packet(-1)
+        with pytest.raises(ValueError):
+            nic.max_packet_rate(0)
+        with pytest.raises(ValueError):
+            nic.max_throughput_bps(0)
+
+
+class TestInterrupt:
+    def test_cost_grows_with_rate(self):
+        nic = InterruptNic()
+        assert nic.cpu_seconds_per_packet(500_000) > nic.cpu_seconds_per_packet(1_000)
+
+    def test_self_limiting_rate_consistent(self):
+        # At the self-limiting rate, rate * cost(rate) ≈ 1 CPU.
+        nic = InterruptNic()
+        rate = nic.max_packet_rate()
+        assert rate * nic.cpu_seconds_per_packet(rate) == pytest.approx(1.0, rel=1e-6)
+
+    def test_poll_mode_beats_interrupts(self):
+        # The paper's whole reason for DPDK: poll mode sustains a much
+        # higher packet rate than the interrupt path.
+        assert PollModeNic().max_packet_rate() > 5 * InterruptNic().max_packet_rate()
+
+    def test_efficiency_deteriorates(self):
+        # "The efficiency deteriorates when the number of interrupts
+        # grows" — cost at high rate is superlinear vs the base cost.
+        nic = InterruptNic()
+        low = nic.cpu_seconds_per_packet(0)
+        high = nic.cpu_seconds_per_packet(2 * nic.saturation_pps)
+        assert high > 1.5 * low

@@ -1,0 +1,101 @@
+"""Node, Host and Topology wiring tests."""
+
+import pytest
+
+from repro.net import Host, LinkSpec, Topology
+from repro.net.packet import Datagram
+
+
+@pytest.fixture
+def duplex_topology():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_duplex("a", "b", capacity_mbps=10.0, delay_ms=5.0)
+    return topo
+
+
+class TestNode:
+    def test_port_demultiplexing(self, duplex_topology):
+        topo = duplex_topology
+        got = {"p1": [], "p2": []}
+        topo.get("b").listen(1, lambda d: got["p1"].append(d))
+        topo.get("b").listen(2, lambda d: got["p2"].append(d))
+        topo.get("a").send("b", "one", 100, dst_port=1)
+        topo.get("a").send("b", "two", 100, dst_port=2)
+        topo.run()
+        assert len(got["p1"]) == 1 and got["p1"][0].payload == "one"
+        assert len(got["p2"]) == 1 and got["p2"][0].payload == "two"
+
+    def test_default_handler_catches_unbound_ports(self, duplex_topology):
+        topo = duplex_topology
+        fallback = []
+        topo.get("b").listen_default(fallback.append)
+        topo.get("a").send("b", "x", 10, dst_port=99)
+        topo.run()
+        assert len(fallback) == 1
+
+    def test_unknown_destination_raises(self, duplex_topology):
+        with pytest.raises(KeyError):
+            duplex_topology.get("a").send("zz", "x", 10)
+
+    def test_duplicate_port_binding_rejected(self, duplex_topology):
+        node = duplex_topology.get("a")
+        node.listen(5, lambda d: None)
+        with pytest.raises(ValueError):
+            node.listen(5, lambda d: None)
+
+    def test_unlisten(self, duplex_topology):
+        topo = duplex_topology
+        got = []
+        topo.get("b").listen(1, got.append)
+        topo.get("b").unlisten(1)
+        topo.get("a").send("b", "x", 10, dst_port=1)
+        topo.run()
+        assert got == []
+        assert topo.get("b").received_packets == 1  # counted, not handled
+
+    def test_neighbors(self, duplex_topology):
+        assert duplex_topology.get("a").neighbors() == ["b"]
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ValueError):
+            topo.add_node("a")
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link(LinkSpec("a", "b", 1.0, 1.0))
+        with pytest.raises(ValueError):
+            topo.add_link(LinkSpec("a", "b", 1.0, 1.0))
+
+    def test_custom_node_instances(self, scheduler):
+        topo = Topology()
+        host = Host("h", topo.scheduler)
+        assert topo.add_node(host) is host
+        assert topo.get("h") is host
+
+    def test_graph_export(self, duplex_topology):
+        g = duplex_topology.graph()
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 2
+        assert g.edges["a", "b"]["capacity_mbps"] == pytest.approx(10.0)
+        assert g.edges["a", "b"]["delay_ms"] == pytest.approx(5.0)
+
+    def test_unknown_link_raises(self, duplex_topology):
+        with pytest.raises(KeyError):
+            duplex_topology.link("b", "zz")
+
+    def test_wire_size_accounting(self):
+        d = Datagram(src="a", dst="b", payload=None, payload_bytes=1472)
+        assert d.wire_bytes == 1500  # exactly one MTU
+        assert d.wire_bits == 12000
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Datagram(src="a", dst="b", payload=None, payload_bytes=-1)

@@ -1,0 +1,89 @@
+"""Generation segmentation and reassembly tests."""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import Generation, reassemble, segment
+from repro.rlnc.generation import DEFAULT_BLOCK_BYTES, DEFAULT_BLOCKS_PER_GENERATION
+
+
+class TestDefaults:
+    def test_paper_constants(self):
+        assert DEFAULT_BLOCK_BYTES == 1460
+        assert DEFAULT_BLOCKS_PER_GENERATION == 4
+
+    def test_packet_fills_mtu(self):
+        # block + NC header (8 + 4) + UDP (8) + IP (20) = 1500.
+        assert DEFAULT_BLOCK_BYTES + 12 + 8 + 20 == 1500
+
+
+class TestSegment:
+    def test_exact_fit(self, rng):
+        data = rng.integers(0, 256, 2 * 4 * 100, dtype=np.uint8).tobytes()
+        gens = segment(data, block_bytes=100, blocks_per_generation=4)
+        assert len(gens) == 2
+        assert all(g.block_count == 4 and g.block_bytes == 100 for g in gens)
+
+    def test_padding(self):
+        gens = segment(b"abc", block_bytes=4, blocks_per_generation=2)
+        assert len(gens) == 1
+        assert gens[0].blocks.tobytes() == b"abc" + b"\x00" * 5
+
+    def test_empty_input_gives_one_generation(self):
+        gens = segment(b"", block_bytes=4, blocks_per_generation=2)
+        assert len(gens) == 1
+        assert not gens[0].blocks.any()
+
+    def test_generation_ids_sequential(self, rng):
+        data = bytes(50)
+        gens = segment(data, block_bytes=4, blocks_per_generation=2, first_generation_id=10)
+        assert [g.generation_id for g in gens] == list(range(10, 10 + len(gens)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            segment(b"x", block_bytes=0)
+        with pytest.raises(ValueError):
+            segment(b"x", blocks_per_generation=0)
+
+    def test_size_bytes(self):
+        gens = segment(bytes(16), block_bytes=4, blocks_per_generation=2)
+        assert gens[0].size_bytes == 8
+
+
+class TestReassemble:
+    def test_roundtrip(self, rng):
+        data = rng.integers(0, 256, 12345, dtype=np.uint8).tobytes()
+        gens = segment(data, block_bytes=64, blocks_per_generation=4)
+        assert reassemble(gens, len(data)) == data
+
+    def test_out_of_order_generations(self, rng):
+        data = rng.integers(0, 256, 1000, dtype=np.uint8).tobytes()
+        gens = segment(data, block_bytes=32, blocks_per_generation=4)
+        shuffled = list(reversed(gens))
+        assert reassemble(shuffled, len(data)) == data
+
+    def test_missing_generation_detected(self, rng):
+        data = bytes(1000)
+        gens = segment(data, block_bytes=32, blocks_per_generation=4)
+        with pytest.raises(ValueError):
+            reassemble(gens[:-2] + gens[-1:], len(data))
+
+    def test_short_decode_detected(self):
+        gens = segment(bytes(8), block_bytes=4, blocks_per_generation=2)
+        with pytest.raises(ValueError):
+            reassemble(gens, 100)
+
+    def test_negative_total(self):
+        with pytest.raises(ValueError):
+            reassemble([], -1)
+
+
+class TestGenerationObject:
+    def test_equality(self, rng):
+        blocks = rng.integers(0, 256, (4, 8), dtype=np.uint8)
+        assert Generation(1, blocks) == Generation(1, blocks.copy())
+        assert Generation(1, blocks) != Generation(2, blocks)
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            Generation(0, np.zeros(8, dtype=np.uint8))

@@ -1,0 +1,88 @@
+"""NC header wire-format tests."""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import NCHeader
+from repro.rlnc.header import FIXED_HEADER_BYTES
+
+
+def make_header(**overrides):
+    defaults = dict(
+        session_id=7,
+        generation_id=123456,
+        coefficients=np.array([1, 0, 9, 255], dtype=np.uint8),
+        systematic=False,
+    )
+    defaults.update(overrides)
+    return NCHeader(**defaults)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        header = make_header()
+        decoded, rest = NCHeader.decode(header.encode())
+        assert decoded == header
+        assert rest == b""
+
+    def test_roundtrip_with_payload(self):
+        header = make_header(systematic=True)
+        wire = header.encode() + b"payload-bytes"
+        decoded, rest = NCHeader.decode(wire)
+        assert decoded == header
+        assert rest == b"payload-bytes"
+
+    def test_fixed_part_is_8_bytes(self):
+        # The paper: "a total of 8 bytes plus the length of coefficients".
+        assert FIXED_HEADER_BYTES == 8
+
+    def test_paper_default_is_12_bytes(self):
+        # 4 blocks per generation -> 12-byte header (paper §III-B1).
+        header = make_header()
+        assert header.size_bytes == 12
+        assert len(header.encode()) == 12
+
+    def test_systematic_flag_survives(self):
+        header = make_header(systematic=True)
+        decoded, _ = NCHeader.decode(header.encode())
+        assert decoded.systematic
+
+
+class TestValidation:
+    def test_session_id_range(self):
+        with pytest.raises(ValueError):
+            make_header(session_id=1 << 16)
+        with pytest.raises(ValueError):
+            make_header(session_id=-1)
+
+    def test_generation_id_range(self):
+        with pytest.raises(ValueError):
+            make_header(generation_id=1 << 32)
+
+    def test_coefficients_bounds(self):
+        with pytest.raises(ValueError):
+            make_header(coefficients=np.zeros(0, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            make_header(coefficients=np.zeros(256, dtype=np.uint8))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError):
+            NCHeader.decode(b"\x00\x01")
+
+    def test_truncated_coefficients_rejected(self):
+        header = make_header()
+        wire = header.encode()[:-2]  # lose two coefficient bytes
+        with pytest.raises(ValueError):
+            NCHeader.decode(wire)
+
+
+class TestEquality:
+    def test_equal_headers(self):
+        assert make_header() == make_header()
+
+    def test_different_coefficients(self):
+        other = make_header(coefficients=np.array([1, 1, 9, 255], dtype=np.uint8))
+        assert make_header() != other
+
+    def test_not_equal_to_other_types(self):
+        assert make_header() != "not a header"

@@ -1,0 +1,63 @@
+"""CodedPacket wire-format tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rlnc import Encoder, Generation
+from repro.rlnc.packet import CodedPacket
+
+
+class TestWireFormat:
+    def test_roundtrip(self, rng):
+        gen = Generation(3, rng.integers(0, 256, (4, 100), dtype=np.uint8))
+        packet = Encoder(9, gen, rng=rng).next_packet()
+        restored = CodedPacket.decode(packet.encode())
+        assert restored == packet
+
+    def test_size_accounting(self, rng):
+        gen = Generation(0, rng.integers(0, 256, (4, 1460), dtype=np.uint8))
+        packet = Encoder(1, gen, rng=rng).next_packet()
+        # 8 fixed header + 4 coefficients + 1460 block = 1472 bytes: with
+        # UDP (8) + IP (20) that's exactly one 1500-byte MTU.
+        assert packet.size_bytes == 1472
+        assert len(packet.encode()) == 1472
+
+    def test_payload_must_be_1d(self):
+        from repro.rlnc.header import NCHeader
+
+        header = NCHeader(1, 0, np.array([1], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            CodedPacket(header=header, payload=np.zeros((2, 2), dtype=np.uint8))
+
+    def test_properties_delegate(self, rng):
+        gen = Generation(5, rng.integers(0, 256, (2, 8), dtype=np.uint8))
+        packet = Encoder(7, gen, rng=rng).next_packet()
+        assert packet.session_id == 7
+        assert packet.generation_id == 5
+        assert packet.coefficients.shape == (2,)
+
+
+@given(
+    session=st.integers(min_value=0, max_value=65535),
+    generation=st.integers(min_value=0, max_value=2**32 - 1),
+    k=st.integers(min_value=1, max_value=16),
+    block_bytes=st.integers(min_value=0, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_wire_roundtrip_property(session, generation, k, block_bytes, seed):
+    from repro.rlnc.header import NCHeader
+
+    rng = np.random.default_rng(seed)
+    packet = CodedPacket(
+        header=NCHeader(
+            session_id=session,
+            generation_id=generation,
+            coefficients=rng.integers(0, 256, k, dtype=np.uint8),
+            systematic=bool(seed % 2),
+        ),
+        payload=rng.integers(0, 256, block_bytes, dtype=np.uint8),
+    )
+    assert CodedPacket.decode(packet.encode()) == packet

@@ -1,0 +1,81 @@
+"""Redundancy policy (NC0/NC1/NC2) tests."""
+
+import pytest
+
+from repro.rlnc import RedundancyPolicy
+from repro.rlnc.redundancy import (
+    NC0,
+    NC1,
+    NC2,
+    expected_delivery_probability,
+    recommend_redundancy,
+)
+
+
+class TestPolicy:
+    def test_paper_names(self):
+        assert NC0.name == "NC0"
+        assert NC1.name == "NC1"
+        assert NC2.name == "NC2"
+
+    def test_packets_per_generation(self):
+        assert NC0.packets_per_generation(4) == 4
+        assert NC1.packets_per_generation(4) == 5
+        assert NC2.packets_per_generation(4) == 6
+
+    def test_overhead(self):
+        assert NC0.overhead_fraction(4) == 0.0
+        assert NC2.overhead_fraction(4) == 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RedundancyPolicy(-1)
+
+    def test_bad_block_count(self):
+        with pytest.raises(ValueError):
+            NC0.packets_per_generation(0)
+
+
+class TestDeliveryProbability:
+    def test_no_loss_certain(self):
+        assert expected_delivery_probability(0.0, 4, 0) == 1.0
+
+    def test_total_loss_impossible(self):
+        assert expected_delivery_probability(1.0, 4, 2) == 0.0
+
+    def test_monotone_in_redundancy(self):
+        probs = [expected_delivery_probability(0.2, 4, r) for r in range(5)]
+        assert probs == sorted(probs)
+
+    def test_monotone_in_loss(self):
+        probs = [expected_delivery_probability(p, 4, 1) for p in (0.0, 0.1, 0.3, 0.5)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_exact_binomial_value(self):
+        # k=2, extra=1, p=0.5: P[Bin(3, .5) >= 2] = 4/8.
+        assert expected_delivery_probability(0.5, 2, 1) == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_delivery_probability(-0.1, 4, 0)
+        with pytest.raises(ValueError):
+            expected_delivery_probability(0.1, 0, 0)
+
+
+class TestRecommendation:
+    def test_reliable_links_no_redundancy(self):
+        # The paper: "no extra coded packets if the links are reliable".
+        assert recommend_redundancy(0.0, 4).extra == 0
+        assert recommend_redundancy(0.005, 4).extra == 0
+
+    def test_lossy_links_get_redundancy(self):
+        # "a small number of extra coded packets ... in cases of high
+        # packet loss rate".
+        assert recommend_redundancy(0.3, 4, target_delivery=0.9).extra >= 2
+
+    def test_monotone_in_loss(self):
+        extras = [recommend_redundancy(p, 4).extra for p in (0.0, 0.1, 0.2, 0.4)]
+        assert extras == sorted(extras)
+
+    def test_cap_respected(self):
+        assert recommend_redundancy(0.9, 4, max_extra=3).extra == 3

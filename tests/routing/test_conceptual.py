@@ -1,0 +1,110 @@
+"""Conceptual-flow model tests (Eqn. 1 and friends)."""
+
+import pytest
+
+from repro.routing import ConceptualFlow, FlowDecomposition, Path, actual_link_rates
+
+
+def path(*nodes, delay=10.0):
+    return Path(nodes=tuple(nodes), delay_ms=delay)
+
+
+@pytest.fixture
+def butterfly_decomposition():
+    """The max-flow solution of the all-35 butterfly at rate 70."""
+    d = FlowDecomposition(session_id=1, source="V1")
+    o2 = ConceptualFlow(session_id=1, receiver="O2")
+    o2.add(path("V1", "O1", "O2"), 35.0)
+    o2.add(path("V1", "C1", "T", "V2", "O2"), 35.0)
+    c2 = ConceptualFlow(session_id=1, receiver="C2")
+    c2.add(path("V1", "C1", "C2"), 35.0)
+    c2.add(path("V1", "O1", "T", "V2", "C2"), 35.0)
+    d.flows = {"O2": o2, "C2": c2}
+    return d
+
+
+class TestConceptualFlow:
+    def test_rate_sums_paths(self):
+        f = ConceptualFlow(session_id=1, receiver="t")
+        f.add(path("s", "t"), 10.0)
+        f.add(path("s", "a", "t"), 5.0)
+        assert f.rate() == pytest.approx(15.0)
+
+    def test_rate_on_edge(self):
+        f = ConceptualFlow(session_id=1, receiver="t")
+        f.add(path("s", "a", "t"), 5.0)
+        f.add(path("s", "a", "b", "t"), 3.0)
+        assert f.rate_on_edge(("s", "a")) == pytest.approx(8.0)
+        assert f.rate_on_edge(("a", "t")) == pytest.approx(5.0)
+
+    def test_negative_rate_rejected(self):
+        f = ConceptualFlow(session_id=1, receiver="t")
+        with pytest.raises(ValueError):
+            f.add(path("s", "t"), -1.0)
+
+    def test_used_paths(self):
+        f = ConceptualFlow(session_id=1, receiver="t")
+        f.add(path("s", "t"), 0.0)
+        f.add(path("s", "a", "t"), 2.0)
+        assert [p.nodes for p in f.used_paths()] == [("s", "a", "t")]
+
+
+class TestEqnOne:
+    def test_max_not_sum_across_receivers(self, butterfly_decomposition):
+        # V1->O1 carries O2's 35 and C2's 35; coded rate is max = 35.
+        rates = butterfly_decomposition.link_rates()
+        assert rates[("V1", "O1")] == pytest.approx(35.0)
+        assert rates[("T", "V2")] == pytest.approx(35.0)
+
+    def test_sum_within_receiver(self):
+        d = FlowDecomposition(session_id=1, source="s")
+        f = ConceptualFlow(session_id=1, receiver="t")
+        f.add(path("s", "a", "t"), 5.0)
+        f.add(path("s", "a", "b", "t"), 3.0)
+        d.flows = {"t": f}
+        assert d.link_rates()[("s", "a")] == pytest.approx(8.0)
+
+    def test_throughput_is_min_over_receivers(self, butterfly_decomposition):
+        assert butterfly_decomposition.throughput() == pytest.approx(70.0)
+        butterfly_decomposition.flows["O2"].path_rates.clear()
+        butterfly_decomposition.flows["O2"].add(path("V1", "O1", "O2"), 35.0)
+        assert butterfly_decomposition.throughput() == pytest.approx(35.0)
+
+    def test_empty_session_zero(self):
+        assert FlowDecomposition(session_id=1, source="s").throughput() == 0.0
+
+
+class TestCodingPoints:
+    def test_butterfly_codes_at_merge_points(self, butterfly_decomposition):
+        points = butterfly_decomposition.coding_points()
+        assert "T" in points  # two incoming used links (O1->T? no: C1->T and O1->T)
+
+    def test_single_path_no_coding(self):
+        d = FlowDecomposition(session_id=1, source="s")
+        f = ConceptualFlow(session_id=1, receiver="t")
+        f.add(path("s", "a", "t"), 5.0)
+        d.flows = {"t": f}
+        assert d.coding_points() == set()
+
+
+class TestValidation:
+    def test_valid_decomposition_passes(self, butterfly_decomposition):
+        butterfly_decomposition.validate(bandwidth_of=lambda e: 35.0)
+
+    def test_capacity_violation_detected(self, butterfly_decomposition):
+        with pytest.raises(ValueError):
+            butterfly_decomposition.validate(bandwidth_of=lambda e: 30.0)
+
+    def test_wrong_endpoint_detected(self):
+        d = FlowDecomposition(session_id=1, source="s")
+        f = ConceptualFlow(session_id=1, receiver="t")
+        f.add(path("x", "t"), 1.0)
+        d.flows = {"t": f}
+        with pytest.raises(ValueError):
+            d.validate()
+
+
+class TestAggregation:
+    def test_sessions_add(self, butterfly_decomposition):
+        total = actual_link_rates([butterfly_decomposition, butterfly_decomposition])
+        assert total[("V1", "O1")] == pytest.approx(70.0)

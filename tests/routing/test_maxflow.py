@@ -1,0 +1,71 @@
+"""Max-flow and multicast-capacity tests."""
+
+import networkx as nx
+import pytest
+
+from repro.routing import max_flow, multicast_capacity
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", capacity_mbps=10.0)
+        assert max_flow(g, "s", "t") == pytest.approx(10.0)
+
+    def test_diamond(self, small_graph):
+        # s->a->t: min(40,25)=25; s->b->t: min(30,35)=30; direct 10 => 65.
+        assert max_flow(small_graph, "s", "t") == pytest.approx(65.0)
+
+    def test_matches_networkx(self, butterfly_graph):
+        for dst in ("O2", "C2"):
+            ours = max_flow(butterfly_graph, "V1", dst)
+            theirs = nx.maximum_flow_value(butterfly_graph, "V1", dst, capacity="capacity_mbps")
+            assert ours == pytest.approx(theirs)
+
+    def test_disconnected(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "a", capacity_mbps=1.0)
+        g.add_node("t")
+        assert max_flow(g, "s", "t") == 0.0
+
+    def test_unknown_node(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", capacity_mbps=1.0)
+        assert max_flow(g, "s", "zz") == 0.0
+
+    def test_antiparallel_edges(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "a", capacity_mbps=10.0)
+        g.add_edge("a", "s", capacity_mbps=3.0)
+        g.add_edge("a", "t", capacity_mbps=8.0)
+        assert max_flow(g, "s", "t") == pytest.approx(8.0)
+
+    def test_same_node_rejected(self):
+        g = nx.DiGraph()
+        with pytest.raises(ValueError):
+            max_flow(g, "s", "s")
+
+    def test_negative_capacity_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", capacity_mbps=-1.0)
+        with pytest.raises(ValueError):
+            max_flow(g, "s", "t")
+
+
+class TestMulticastCapacity:
+    def test_butterfly_is_70(self, butterfly_graph):
+        # The all-35 butterfly codes at 70 Mbps (paper's bound: 69.9 on
+        # the real testbed).
+        assert multicast_capacity(butterfly_graph, "V1", ["O2", "C2"]) == pytest.approx(70.0)
+
+    def test_min_over_receivers(self, small_graph):
+        g = small_graph.copy()
+        g.add_edge("a", "t2", capacity_mbps=5.0, delay_ms=1.0)
+        assert multicast_capacity(g, "s", ["t", "t2"]) == pytest.approx(5.0)
+
+    def test_unicast_special_case(self, small_graph):
+        assert multicast_capacity(small_graph, "s", ["t"]) == max_flow(small_graph, "s", "t")
+
+    def test_empty_receivers_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            multicast_capacity(small_graph, "s", [])

@@ -1,0 +1,84 @@
+"""Delay-bounded path enumeration tests (§IV-A DFS)."""
+
+import networkx as nx
+import pytest
+
+from repro.routing import Path, enumerate_feasible_paths, path_delay_ms
+from repro.routing.paths import feasible_path_sets
+
+
+class TestEnumeration:
+    def test_all_paths_within_bound(self, small_graph):
+        paths = enumerate_feasible_paths(small_graph, "s", "t", max_delay_ms=100.0)
+        assert {p.nodes for p in paths} == {("s", "a", "t"), ("s", "b", "t"), ("s", "t")}
+
+    def test_delay_pruning(self, small_graph):
+        paths = enumerate_feasible_paths(small_graph, "s", "t", max_delay_ms=25.0)
+        assert {p.nodes for p in paths} == {("s", "a", "t")}  # 20 ms; others are 35/50
+
+    def test_no_feasible_paths(self, small_graph):
+        assert enumerate_feasible_paths(small_graph, "s", "t", max_delay_ms=5.0) == []
+
+    def test_relay_restriction(self, small_graph):
+        paths = enumerate_feasible_paths(small_graph, "s", "t", 100.0, relay_nodes={"a"})
+        assert {p.nodes for p in paths} == {("s", "a", "t"), ("s", "t")}
+
+    def test_max_hops(self, small_graph):
+        paths = enumerate_feasible_paths(small_graph, "s", "t", 100.0, max_hops=1)
+        assert {p.nodes for p in paths} == {("s", "t")}
+
+    def test_no_cycles(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "a", delay_ms=1.0)
+        g.add_edge("a", "b", delay_ms=1.0)
+        g.add_edge("b", "a", delay_ms=1.0)
+        g.add_edge("b", "t", delay_ms=1.0)
+        paths = enumerate_feasible_paths(g, "s", "t", 100.0)
+        assert {p.nodes for p in paths} == {("s", "a", "b", "t")}
+
+    def test_sorted_by_delay(self, small_graph):
+        paths = enumerate_feasible_paths(small_graph, "s", "t", 100.0)
+        delays = [p.delay_ms for p in paths]
+        assert delays == sorted(delays)
+
+    def test_source_equals_destination_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            enumerate_feasible_paths(small_graph, "s", "s", 100.0)
+
+    def test_butterfly_path_count(self, butterfly_graph):
+        paths = enumerate_feasible_paths(
+            butterfly_graph, "V1", "O2", 250.0, relay_nodes={"O1", "C1", "T", "V2"}
+        )
+        # O1->O2 direct relay, O1->T->V2->O2, C1->T->V2->O2.
+        assert {p.nodes for p in paths} == {
+            ("V1", "O1", "O2"),
+            ("V1", "O1", "T", "V2", "O2"),
+            ("V1", "C1", "T", "V2", "O2"),
+        }
+
+
+class TestPathObject:
+    def test_cached_delay_correct(self, small_graph):
+        paths = enumerate_feasible_paths(small_graph, "s", "t", 100.0)
+        for p in paths:
+            assert p.delay_ms == pytest.approx(path_delay_ms(small_graph, p.nodes))
+
+    def test_edges_and_relays(self):
+        p = Path(nodes=("s", "a", "t"), delay_ms=20.0)
+        assert p.edges == (("s", "a"), ("a", "t"))
+        assert p.relays() == ("a",)
+        assert p.hops == 2
+        assert not p.is_direct
+
+    def test_direct_path(self):
+        assert Path(nodes=("s", "t"), delay_ms=50.0).is_direct
+
+    def test_missing_edge_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            path_delay_ms(small_graph, ["s", "zz"])
+
+
+class TestPathSets:
+    def test_per_destination(self, small_graph):
+        sets = feasible_path_sets(small_graph, "s", ["t"], 100.0)
+        assert len(sets["t"]) == 3

@@ -1,0 +1,106 @@
+"""Multicast tree and tree-packing tests: the routing-only baselines."""
+
+import networkx as nx
+import pytest
+
+from repro.routing import (
+    best_multicast_tree,
+    candidate_trees,
+    multicast_capacity,
+    tree_packing_rate,
+    tree_packing_solution,
+    tree_throughput,
+)
+
+
+class TestSingleTree:
+    def test_butterfly_best_tree(self, butterfly_graph):
+        edges, rate = best_multicast_tree(
+            butterfly_graph, "V1", ["O2", "C2"], relay_nodes={"O1", "C1", "T", "V2"}
+        )
+        assert rate == pytest.approx(35.0)  # every link is 35: any tree bottlenecks there
+        assert edges
+
+    def test_tree_throughput_is_bottleneck(self, small_graph):
+        edges = {("s", "a"), ("a", "t")}
+        assert tree_throughput(small_graph, edges) == pytest.approx(25.0)
+
+    def test_no_tree_when_unreachable(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "a", capacity_mbps=1.0)
+        g.add_node("t")
+        edges, rate = best_multicast_tree(g, "s", ["t"])
+        assert rate == 0.0 and edges == set()
+
+    def test_empty_destinations_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            best_multicast_tree(small_graph, "s", [])
+
+    def test_unicast_picks_widest_path(self, small_graph):
+        _, rate = best_multicast_tree(small_graph, "s", ["t"])
+        assert rate == pytest.approx(30.0)  # s->b->t is the widest single path
+
+
+class TestTreePacking:
+    def test_butterfly_packing_is_52_5(self, butterfly_graph):
+        # The classic result: routing alone reaches 1.5 per unit capacity
+        # (52.5 Mbps) where coding reaches 2 (70 Mbps).
+        rate = tree_packing_rate(butterfly_graph, "V1", ["O2", "C2"], relay_nodes={"O1", "C1", "T", "V2"})
+        assert rate == pytest.approx(52.5, rel=1e-6)
+
+    def test_packing_between_tree_and_capacity(self, butterfly_graph):
+        relays = {"O1", "C1", "T", "V2"}
+        _, single = best_multicast_tree(butterfly_graph, "V1", ["O2", "C2"], relay_nodes=relays)
+        packing = tree_packing_rate(butterfly_graph, "V1", ["O2", "C2"], relay_nodes=relays)
+        coding = multicast_capacity(butterfly_graph, "V1", ["O2", "C2"])
+        assert single <= packing <= coding
+        assert packing < coding  # the butterfly's raison d'être
+
+    def test_unicast_packing_equals_maxflow(self, small_graph):
+        # For one receiver, tree packing = path packing = max flow.
+        rate = tree_packing_rate(small_graph, "s", ["t"])
+        assert rate == pytest.approx(65.0)
+
+    def test_solution_respects_capacities(self, butterfly_graph):
+        solution = tree_packing_solution(
+            butterfly_graph, "V1", ["O2", "C2"], relay_nodes={"O1", "C1", "T", "V2"}
+        )
+        assert solution
+        load = {}
+        for edges, rate in solution:
+            assert rate > 0
+            for e in edges:
+                load[e] = load.get(e, 0.0) + rate
+        for e, total in load.items():
+            assert total <= butterfly_graph.edges[e]["capacity_mbps"] + 1e-6
+
+    def test_solution_total_matches_rate(self, butterfly_graph):
+        relays = {"O1", "C1", "T", "V2"}
+        solution = tree_packing_solution(butterfly_graph, "V1", ["O2", "C2"], relay_nodes=relays)
+        total = sum(rate for _, rate in solution)
+        assert total == pytest.approx(52.5, rel=1e-6)
+
+    def test_each_tree_spans_receivers(self, butterfly_graph):
+        relays = {"O1", "C1", "T", "V2"}
+        for edges, _ in tree_packing_solution(butterfly_graph, "V1", ["O2", "C2"], relay_nodes=relays):
+            g = nx.DiGraph(list(edges))
+            for dst in ("O2", "C2"):
+                assert nx.has_path(g, "V1", dst)
+
+    def test_no_trees_when_unreachable(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "a", capacity_mbps=1.0, delay_ms=1.0)
+        g.add_node("t")
+        assert tree_packing_rate(g, "s", ["t"]) == 0.0
+        assert tree_packing_solution(g, "s", ["t"]) == []
+
+
+class TestCandidates:
+    def test_candidates_are_path_unions(self, small_graph):
+        trees = candidate_trees(small_graph, "s", ["t"])
+        assert frozenset({("s", "t")}) in trees
+        assert all(isinstance(t, frozenset) for t in trees)
+
+    def test_delay_bound_prunes(self, small_graph):
+        trees = candidate_trees(small_graph, "s", ["t"], max_delay_ms=25.0)
+        assert trees == [frozenset({("s", "a"), ("a", "t")})]

@@ -1,0 +1,54 @@
+"""CLI smoke tests (the fast commands; sims are covered elsewhere)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["capacity"],
+            ["butterfly", "--duration", "1.0"],
+            ["delays"],
+            ["loss", "--model", "burst", "--points", "0,0.1"],
+            ["churn", "--seed", "1"],
+            ["sweep", "--knob", "lmax"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_knob_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--knob", "bogus"])
+
+
+class TestExecution:
+    def test_capacity(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "70.0" in out
+        assert "52.5" in out
+
+    def test_capacity_csv(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        assert main(["--csv", str(path), "capacity"]) == 0
+        content = path.read_text()
+        assert content.startswith("bound,Mbps")
+        assert "70.0" in content
+
+    def test_sweep_alpha(self, capsys):
+        assert main(["sweep", "--knob", "alpha"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert "vnfs" in out
+
+    def test_churn_runs(self, capsys):
+        assert main(["churn", "--interval", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "minute" in out
