@@ -1,0 +1,37 @@
+"""Simulator-invariant static analysis (``python -m repro.analysis``).
+
+The reproduction's correctness rests on properties no general-purpose
+linter checks: determinism under a seed, GF(2^w) arithmetic never
+falling back to native integer ops, discrete-event discipline, and a
+complete control-signal protocol.  This package is an AST-based lint
+engine with repo-specific rules:
+
+=========  =================================================================
+``RL001``  unseeded randomness / wall-clock reads in simulator code
+``RL002``  native ``+``/``-``/``*`` on values produced by ``repro.gf`` APIs
+``RL003``  DES discipline: blocking sleeps, negative-delay ``schedule``,
+           ``==`` on simulated-time floats
+``RL004``  signal-protocol exhaustiveness across signals/controller/daemon
+``RL005``  mutable default arguments
+=========  =================================================================
+
+Findings can be suppressed per line with ``# repro-lint: disable=RL001``
+(or ``disable-next-line=`` / ``disable-file=``); see ``DESIGN.md``.
+"""
+
+from repro.analysis.engine import AnalysisResult, analyze_paths, analyze_source
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, ProjectRule, Rule, all_rules, get_rule, register
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleRule",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "register",
+]

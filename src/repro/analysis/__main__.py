@@ -1,0 +1,57 @@
+"""CLI: ``python -m repro.analysis [paths...] [--format text|json]``.
+
+Exit status: 0 when no unsuppressed findings, 1 when findings exist,
+2 on usage errors (unknown rule ids, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.registry import all_rules
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulator-invariant lint for the ICDCS'17 reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text", dest="fmt")
+    parser.add_argument("--select", metavar="RULES", help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", metavar="RULES", help="comma-separated rule ids to skip")
+    parser.add_argument("--show-suppressed", action="store_true", help="include suppressed findings in text output")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+    return parser
+
+
+def _split(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name:<24}  {rule.description}")
+        return 0
+    try:
+        result = analyze_paths(args.paths, select=_split(args.select), ignore=_split(args.ignore))
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Walk files, parse, run rules, apply suppressions.
+
+The engine is deliberately linear: collect ``.py`` files, parse each
+once into a :class:`SourceModule` (AST + suppression index), run every
+module rule per module and every project rule once, then mark
+suppressed findings.  Syntax errors become ``RL000`` findings rather
+than crashes so a broken file cannot hide the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.astutil import import_aliases
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, ProjectRule, Rule, all_rules
+from repro.analysis.suppressions import SuppressionIndex, scan_suppressions
+
+SYNTAX_ERROR_RULE = "RL000"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus everything rules need to know."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.as_posix()
+
+    def in_package(self, package_dir: str) -> bool:
+        """True when ``package_dir`` appears as a path component."""
+        return package_dir in self.path.parts
+
+
+@dataclass
+class AnalysisResult:
+    """Findings (active first) plus scan bookkeeping."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            out.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    out.add(candidate)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def load_module(path: Path) -> tuple[SourceModule | None, Finding | None]:
+    """Parse one file; returns (module, None) or (None, syntax finding)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id=SYNTAX_ERROR_RULE,
+            path=path.as_posix(),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )
+        return None, finding
+    module = SourceModule(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=scan_suppressions(source),
+        aliases=import_aliases(tree),
+    )
+    return module, None
+
+
+def _mark_suppressed(finding: Finding, modules_by_path: dict[str, SourceModule]) -> Finding:
+    module = modules_by_path.get(finding.path)
+    if module is None:
+        return finding
+    if module.suppressions.is_suppressed(finding.rule_id, finding.line):
+        return Finding(
+            rule_id=finding.rule_id,
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            message=finding.message,
+            suppressed=True,
+        )
+    return finding
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """The active rule set after ``--select`` / ``--ignore`` filtering."""
+    rules = all_rules()
+    if select is not None:
+        wanted = {r.upper() for r in select}
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore is not None:
+        dropped = {r.upper() for r in ignore}
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+    return rules
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> AnalysisResult:
+    """Run the active rules over every ``.py`` file under ``paths``."""
+    rules = select_rules(select, ignore)
+    result = AnalysisResult(rules_run=[rule.rule_id for rule in rules])
+    modules: list[SourceModule] = []
+    for path in collect_files(paths):
+        module, error = load_module(path)
+        result.files_scanned += 1
+        if error is not None:
+            result.findings.append(error)
+            continue
+        assert module is not None
+        modules.append(module)
+
+    modules_by_path = {m.posix_path: m for m in modules}
+    for rule in rules:
+        if isinstance(rule, ModuleRule):
+            for module in modules:
+                if rule.applies_to(module):
+                    result.findings.extend(rule.check_module(module))
+        elif isinstance(rule, ProjectRule):
+            result.findings.extend(rule.check_project(modules))
+
+    result.findings = sorted(
+        (_mark_suppressed(f, modules_by_path) for f in result.findings),
+        key=Finding.sort_key,
+    )
+    return result
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>.py",
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint a source snippet (the fixture-test entry point).
+
+    ``path`` participates in rule scoping (e.g. RL001 only fires under
+    a ``repro`` package directory), so fixtures pass paths shaped like
+    the real tree.
+    """
+    rules = select_rules(select)
+    tree_path = Path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=SYNTAX_ERROR_RULE,
+                path=tree_path.as_posix(),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    module = SourceModule(
+        path=tree_path,
+        source=source,
+        tree=tree,
+        suppressions=scan_suppressions(source),
+        aliases=import_aliases(tree),
+    )
+    findings: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ModuleRule):
+            if rule.applies_to(module):
+                findings.extend(rule.check_module(module))
+        elif isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project([module]))
+    marked = [_mark_suppressed(f, {module.posix_path: module}) for f in findings]
+    return sorted(marked, key=Finding.sort_key)

@@ -1,0 +1,31 @@
+"""Finding: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single lint finding.
+
+    ``suppressed`` findings were matched by a ``# repro-lint:`` comment;
+    they are kept (for ``--show-suppressed`` and JSON accounting) but do
+    not affect the exit status.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)

@@ -1,0 +1,15 @@
+"""Built-in rules; importing this package registers all of them."""
+
+from repro.analysis.rules.rl001_unseeded_rng import UnseededRngRule
+from repro.analysis.rules.rl002_gf_native_arith import GfNativeArithRule
+from repro.analysis.rules.rl003_des_discipline import DesDisciplineRule
+from repro.analysis.rules.rl004_signal_exhaustiveness import SignalExhaustivenessRule
+from repro.analysis.rules.rl005_mutable_defaults import MutableDefaultArgsRule
+
+__all__ = [
+    "UnseededRngRule",
+    "GfNativeArithRule",
+    "DesDisciplineRule",
+    "SignalExhaustivenessRule",
+    "MutableDefaultArgsRule",
+]

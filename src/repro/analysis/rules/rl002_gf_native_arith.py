@@ -1,0 +1,185 @@
+"""RL002 — native arithmetic on GF(2^w) values.
+
+GF(2^w) addition is XOR and multiplication runs through log/exp tables;
+applying Python's ``+``/``-``/``*``/``@`` to arrays produced by the
+:mod:`repro.gf` APIs silently computes integer arithmetic and corrupts
+the code.  The classic bug: ``acc = acc + field.scale(c, row)`` instead
+of ``acc = field.add(acc, field.scale(c, row))``.
+
+Detection is a per-scope taint pass, deliberately conservative (low
+false-positive, not exhaustive):
+
+- *producers* taint a name: ``<fieldish>.mul(...)`` and friends, where
+  the receiver is named like a field (``field``, ``self.field``, ``gf``,
+  ``GF256``, …), and the module-level GF matrix helpers
+  (``gf_matvec``, ``gf_inverse``, ``gf_solve``, …);
+- assigning a tainted name to another name propagates the taint;
+  reassigning from anything else clears it;
+- a flagged use is a ``+``/``-``/``*``/``@`` binary op (or augmented
+  assignment) whose operand is a tainted name or a producer call.
+
+Bitwise ops (``^``, ``&``, ``|``, shifts) are allowed: XOR *is* field
+addition and the fast paths use it on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import dotted_name, last_component, walk_scopes
+from repro.analysis.engine import SourceModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, register
+
+#: GaloisField methods whose results live in the field.
+FIELD_METHODS = {
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "inv",
+    "pow",
+    "scale",
+    "addmul",
+    "linear_combination",
+    "random_elements",
+    "random_nonzero",
+}
+
+#: Module-level GF matrix helpers (repro.gf.matrix) returning field values.
+GF_FUNCTIONS = {
+    "gf_matvec",
+    "gf_matmul",
+    "gf_inverse",
+    "gf_solve",
+}
+
+_NATIVE_OPS = (ast.Add, ast.Sub, ast.Mult, ast.MatMult)
+
+_OP_SYMBOL = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.MatMult: "@"}
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _receiver_is_fieldish(func: ast.Attribute, aliases: dict[str, str]) -> bool:
+    receiver = dotted_name(func.value, aliases)
+    if receiver is None:
+        return False
+    tail = last_component(receiver).lower()
+    return tail in ("field", "gf") or tail.startswith("gf") or tail.endswith("field")
+
+
+def is_gf_producer(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """True when ``node`` is a call whose result is a GF value."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in FIELD_METHODS and _receiver_is_fieldish(func, aliases):
+            return True
+        return func.attr in GF_FUNCTIONS
+    name = dotted_name(func, aliases)
+    return name is not None and last_component(name) in GF_FUNCTIONS
+
+
+@register
+class GfNativeArithRule(ModuleRule):
+    rule_id = "RL002"
+    name = "gf-native-arith"
+    description = "native +/-/*/@ applied to GF(2^w) field values"
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for _scope, body in walk_scopes(module.tree):
+            yield from self._check_block(body, set(), module)
+
+    # -- ordered traversal ------------------------------------------------
+
+    def _check_block(
+        self, body: list[ast.stmt], tainted: set[str], module: SourceModule
+    ) -> Iterator[Finding]:
+        """Check a statement block in program order, updating taint."""
+        for stmt in body:
+            if isinstance(stmt, _SCOPE_NODES):
+                continue  # nested scopes get their own walk_scopes entry
+            yield from self._check_stmt(stmt, tainted, module)
+
+    def _check_stmt(
+        self, stmt: ast.stmt, tainted: set[str], module: SourceModule
+    ) -> Iterator[Finding]:
+        aliases = module.aliases
+
+        # 1. Violations in this statement's own expressions (checked
+        #    before taint updates so `x = x + field.mul(...)` reports).
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.expr):
+                yield from self._check_expr(expr, tainted, module)
+
+        # 2. Augmented assignment is both a use and an update.
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, _NATIVE_OPS):
+            target_gf = isinstance(stmt.target, ast.Name) and stmt.target.id in tainted
+            value_gf = (
+                is_gf_producer(stmt.value, aliases)
+                or (isinstance(stmt.value, ast.Name) and stmt.value.id in tainted)
+            )
+            if target_gf or value_gf:
+                symbol = _OP_SYMBOL.get(type(stmt.op), "?")
+                yield self._finding(
+                    stmt,
+                    module,
+                    f"augmented `{symbol}=` on a GF(2^w) value: use the field API "
+                    "(field.add / field.addmul)",
+                )
+
+        # 3. Taint bookkeeping.
+        if isinstance(stmt, ast.Assign):
+            produced = is_gf_producer(stmt.value, aliases) or (
+                isinstance(stmt.value, ast.Name) and stmt.value.id in tainted
+            )
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    (tainted.add if produced else tainted.discard)(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None and is_gf_producer(stmt.value, aliases):
+                tainted.add(stmt.target.id)
+            else:
+                tainted.discard(stmt.target.id)
+
+        # 4. Recurse into nested statement blocks in order.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt) and not isinstance(child, _SCOPE_NODES):
+                yield from self._check_stmt(child, tainted, module)
+            elif isinstance(child, ast.ExceptHandler):
+                yield from self._check_block(child.body, tainted, module)
+            elif isinstance(child, ast.withitem):
+                yield from self._check_expr(child.context_expr, tainted, module)
+
+    def _check_expr(
+        self, node: ast.expr, tainted: set[str], module: SourceModule
+    ) -> Iterator[Finding]:
+        for child in ast.walk(node):
+            if isinstance(child, ast.BinOp) and isinstance(child.op, _NATIVE_OPS):
+                if self._operand_is_gf(child.left, tainted, module) or self._operand_is_gf(
+                    child.right, tainted, module
+                ):
+                    symbol = _OP_SYMBOL.get(type(child.op), "?")
+                    yield self._finding(
+                        child,
+                        module,
+                        f"native `{symbol}` on a GF(2^w) value computes integer arithmetic: "
+                        "use the repro.gf field API",
+                    )
+
+    def _operand_is_gf(self, node: ast.expr, tainted: set[str], module: SourceModule) -> bool:
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+        return is_gf_producer(node, module.aliases)
+
+    def _finding(self, node: ast.AST, module: SourceModule, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.posix_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

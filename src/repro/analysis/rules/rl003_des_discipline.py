@@ -1,0 +1,165 @@
+"""RL003 — discrete-event-simulation discipline.
+
+The whole simulator runs on one :class:`~repro.net.events.EventScheduler`;
+three classes of bug silently break it:
+
+- **Blocking calls** (``time.sleep`` & co.) inside event callbacks stall
+  the real process, not the simulated clock — latency must be modelled
+  with ``scheduler.schedule(delay, ...)``.
+- **Negative-delay schedules**: ``schedule(-x, ...)`` would rewind the
+  clock; the scheduler raises at runtime, but a literal negative delay
+  is statically detectable and always a bug.  Calls inside a
+  ``pytest.raises`` block are exempt (that's the test *for* the runtime
+  guard).
+- **``==``/``!=`` on simulated-time floats**: event timestamps are
+  accumulated floats (``now + delay`` chains); comparing them for
+  equality is order-fragile.  Simulator code must compare with
+  tolerances or ordering.  This check is scoped to the ``repro``
+  package — tests may assert exact event times on purpose (and
+  ``pytest.approx`` / ``math.isclose`` comparisons are recognised and
+  allowed anywhere).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name, is_negative_constant, last_component
+from repro.analysis.engine import SourceModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, register
+
+_BLOCKING = {
+    "time.sleep",
+    "os.wait",
+    "select.select",
+    "socket.recv",
+}
+
+_SCHEDULE_NAMES = {"schedule", "schedule_at"}
+
+_TOLERANT_COMPARATORS = {"approx", "isclose"}
+
+
+def _is_now_expr(node: ast.expr, time_names: set[str]) -> bool:
+    """``<anything>.now`` or a local name assigned from one."""
+    if isinstance(node, ast.Attribute) and node.attr == "now":
+        return True
+    return isinstance(node, ast.Name) and node.id in time_names
+
+
+def _is_tolerant_call(node: ast.expr) -> bool:
+    """``pytest.approx(...)`` / ``math.isclose(...)``-shaped comparator."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node, None)
+    return name is not None and last_component(name) in _TOLERANT_COMPARATORS
+
+
+@register
+class DesDisciplineRule(ModuleRule):
+    rule_id = "RL003"
+    name = "des-discipline"
+    description = "blocking sleep, negative-delay schedule, or == on simulated time"
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        in_repro = module.in_package("repro")
+        time_names = self._names_bound_to_now(module.tree)
+        raises_ranges = self._pytest_raises_ranges(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_blocking(node, module)
+                yield from self._check_schedule(node, module, raises_ranges)
+            elif isinstance(node, ast.Compare) and in_repro:
+                yield from self._check_time_equality(node, module, time_names)
+
+    # -- sub-checks -------------------------------------------------------
+
+    def _check_blocking(self, node: ast.Call, module: SourceModule) -> Iterator[Finding]:
+        qualified = call_name(node, module.aliases)
+        if qualified in _BLOCKING:
+            yield self._finding(
+                node,
+                module,
+                f"{qualified}() blocks the process, not the simulated clock: "
+                "model the delay with scheduler.schedule(...)",
+            )
+
+    def _check_schedule(
+        self, node: ast.Call, module: SourceModule, raises_ranges: list[tuple[int, int]]
+    ) -> Iterator[Finding]:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in _SCHEDULE_NAMES or not node.args:
+            return
+        if not is_negative_constant(node.args[0]):
+            return
+        line = node.lineno
+        if any(lo <= line <= hi for lo, hi in raises_ranges):
+            return  # intentionally exercising the runtime guard
+        kind = "delay" if name == "schedule" else "absolute time"
+        yield self._finding(
+            node, module, f"{name}() with a literal negative {kind} rewinds the simulated clock"
+        )
+
+    def _check_time_equality(
+        self, node: ast.Compare, module: SourceModule, time_names: set[str]
+    ) -> Iterator[Finding]:
+        comparators = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, comparators, comparators[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (left, right)
+            if not any(_is_now_expr(side, time_names) for side in pair):
+                continue
+            if any(_is_tolerant_call(side) for side in pair):
+                continue
+            # Comparing against the constant 0.0 start-of-run sentinel is
+            # exact by construction; everything else is flagged.
+            yield self._finding(
+                node,
+                module,
+                "== on simulated-time floats is order-fragile: compare with a tolerance "
+                "(math.isclose) or use ordering",
+            )
+
+    # -- helpers ----------------------------------------------------------
+
+    def _names_bound_to_now(self, tree: ast.Module) -> set[str]:
+        """Local names assigned directly from a ``.now`` attribute."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
+                if node.value.attr == "now":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    def _pytest_raises_ranges(self, tree: ast.Module) -> list[tuple[int, int]]:
+        """Line ranges of ``with pytest.raises(...)`` blocks."""
+        ranges: list[tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                name = call_name(item.context_expr, None) if isinstance(
+                    item.context_expr, ast.Call
+                ) else None
+                if name is not None and last_component(name) == "raises":
+                    end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                    ranges.append((node.lineno, end))
+        return ranges
+
+    def _finding(self, node: ast.AST, module: SourceModule, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.posix_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

@@ -1,0 +1,156 @@
+"""RL004 — control-signal protocol exhaustiveness.
+
+The paper's control plane is a closed protocol: five ``NC_*`` signals
+travel from the controller to daemons (§III-A).  Two drift bugs are
+easy to introduce and invisible at runtime until an experiment silently
+misbehaves:
+
+1. a new ``Signal`` subclass is added to ``core/signals.py`` but no
+   ``isinstance`` branch in the daemon's dispatcher (nor any controller
+   use) ever handles it — the bus delivers it into the void;
+2. controller or daemon references a signal class that no longer exists
+   in the protocol module (renamed, removed) — caught at import time
+   only if the import is still there, not when the name is built
+   dynamically.
+
+This project rule cross-references three modules found among the
+scanned files:
+
+- the *protocol module*: defines ``class Signal`` plus its subclasses
+  (``core/signals.py`` in this repo);
+- the *daemon module* (``daemon.py``): handlers are ``isinstance``
+  checks against signal classes;
+- the *controller module* (``controller.py``): signals it constructs or
+  consumes.
+
+Every signal class must be dispatched by the daemon **or** consumed by
+the controller; every ``Nc*``-shaped class the dispatchers mention must
+exist in the protocol.  If the scanned file set lacks the protocol
+module or both dispatcher modules, the rule stays silent (linting a
+file subset must not fabricate protocol holes).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import SourceModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+
+_SIGNAL_BASE = "Signal"
+
+#: Signal classes are CamelCase with an ``Nc`` prefix in this codebase.
+_SIGNAL_NAME = re.compile(r"^Nc[A-Z]\w*$")
+
+
+def _signal_classes(tree: ast.Module) -> dict[str, int]:
+    """Direct ``Signal`` subclasses defined in a module: name -> line."""
+    out: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for base in node.bases:
+                if isinstance(base, ast.Name) and base.id == _SIGNAL_BASE:
+                    out[node.name] = node.lineno
+    return out
+
+
+def _defines_signal_base(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.ClassDef) and node.name == _SIGNAL_BASE for node in ast.walk(tree)
+    )
+
+
+def _isinstance_targets(tree: ast.Module) -> dict[str, int]:
+    """Class names used as ``isinstance(x, C)`` targets: name -> line."""
+    out: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        if node.func.id != "isinstance" or len(node.args) != 2:
+            continue
+        target = node.args[1]
+        candidates = target.elts if isinstance(target, ast.Tuple) else [target]
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name):
+                out.setdefault(candidate.id, node.lineno)
+    return out
+
+
+def _referenced_names(tree: ast.Module) -> dict[str, int]:
+    """Every plain name loaded in a module: name -> first line."""
+    out: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            out.setdefault(node.id, node.lineno)
+    return out
+
+
+@register
+class SignalExhaustivenessRule(ProjectRule):
+    rule_id = "RL004"
+    name = "signal-exhaustiveness"
+    description = "every protocol signal handled; no unknown signals dispatched"
+
+    def check_project(self, modules: Iterable[SourceModule]) -> Iterator[Finding]:
+        protocol = None
+        daemons: list[SourceModule] = []
+        controllers: list[SourceModule] = []
+        for module in modules:
+            if _defines_signal_base(module.tree) and _signal_classes(module.tree):
+                protocol = module
+            if module.path.name == "daemon.py":
+                daemons.append(module)
+            elif module.path.name == "controller.py":
+                controllers.append(module)
+        if protocol is None or not (daemons or controllers):
+            return
+
+        signals = _signal_classes(protocol.tree)
+        dispatched: set[str] = set()
+        for daemon in daemons:
+            dispatched.update(_isinstance_targets(daemon.tree))
+        consumed: set[str] = set()
+        for controller in controllers:
+            consumed.update(_referenced_names(controller.tree))
+
+        # 1. Every protocol signal must be handled somewhere.
+        for name, line in sorted(signals.items()):
+            if name not in dispatched and name not in consumed:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=protocol.posix_path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"signal {name} is neither dispatched by the daemon nor consumed "
+                        "by the controller: the bus would deliver it into the void"
+                    ),
+                )
+
+        # 2. No dispatcher may mention a signal the protocol lacks.
+        for daemon in daemons:
+            for name, line in sorted(_isinstance_targets(daemon.tree).items()):
+                if _SIGNAL_NAME.match(name) and name not in signals and name != _SIGNAL_BASE:
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=daemon.posix_path,
+                        line=line,
+                        col=0,
+                        message=f"daemon dispatches unknown signal {name}: not defined in the protocol module",
+                    )
+        for controller in controllers:
+            for node in ast.walk(controller.tree):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+                    continue
+                name = node.func.id
+                if _SIGNAL_NAME.match(name) and name not in signals:
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=controller.posix_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=f"controller constructs unknown signal {name}: not defined in the protocol module",
+                    )

@@ -1,0 +1,77 @@
+"""RL005 — mutable default arguments.
+
+A ``def f(x, acc=[])`` default is evaluated once at function definition
+time; in long-lived simulator objects (VNFs, daemons, sessions live for
+a whole run) shared mutable defaults leak state *between simulations*,
+which is exactly the cross-run contamination the determinism work
+eliminates.  Flags list/dict/set displays, comprehensions, and direct
+``list()``/``dict()``/``set()``/``bytearray()``/``collections.*``
+constructor calls used as parameter defaults.  Use ``None`` plus an
+in-body fallback (or ``dataclasses.field(default_factory=...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name, last_component
+from repro.analysis.engine import SourceModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, register
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+
+def _is_mutable_default(node: ast.expr, aliases: dict[str, str]) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node, aliases)
+        return name is not None and last_component(name) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultArgsRule(ModuleRule):
+    rule_id = "RL005"
+    name = "mutable-default-args"
+    description = "mutable default argument shares state across calls (and simulations)"
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default, module.aliases):
+                    func_name = getattr(node, "name", "<lambda>")
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=module.posix_path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        message=(
+                            f"mutable default in {func_name}(): evaluated once and shared "
+                            "across calls — default to None and construct in the body"
+                        ),
+                    )

@@ -1,0 +1,82 @@
+"""``# repro-lint:`` suppression comments.
+
+Three forms, mirroring the linters people already know:
+
+- ``# repro-lint: disable=RL001`` — suppress the listed rules on this
+  physical line (trailing comment).
+- ``# repro-lint: disable-next-line=RL001,RL003`` — suppress on the
+  following line.
+- ``# repro-lint: disable-file=RL002`` — suppress for the whole file.
+
+``all`` suppresses every rule.  Rule ids are case-insensitive and may
+be separated by commas or whitespace.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*(?P<rules>[\w\-, ]+)",
+    re.IGNORECASE,
+)
+
+ALL = "all"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map from line number to the rule ids suppressed there."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rule_id = rule_id.upper()
+        for pool in (self.file_wide, self.by_line.get(line, ())):
+            if rule_id in pool or ALL in pool:
+                return True
+        return False
+
+    def _add(self, line: int, rules: set[str]) -> None:
+        self.by_line.setdefault(line, set()).update(rules)
+
+
+def _parse_rules(raw: str) -> set[str]:
+    rules = {part.strip().upper() for part in re.split(r"[,\s]+", raw) if part.strip()}
+    return {ALL if r == ALL.upper() else r for r in rules}
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Extract every ``# repro-lint:`` pragma from ``source``.
+
+    Uses the tokenizer so pragmas inside string literals are ignored;
+    on tokenization failure (the engine reports the syntax error
+    separately) an empty index is returned.
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(tok.string)
+        if match is None:
+            continue
+        kind = match.group("kind").lower()
+        rules = _parse_rules(match.group("rules"))
+        if not rules:
+            continue
+        line = tok.start[0]
+        if kind == "disable":
+            index._add(line, rules)
+        elif kind == "disable-next-line":
+            index._add(line + 1, rules)
+        else:  # disable-file
+            index.file_wide.update(rules)
+    return index

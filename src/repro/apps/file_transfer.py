@@ -50,6 +50,7 @@ from repro.rlnc.encoder import Encoder
 from repro.rlnc.generation import Generation
 from repro.rlnc.header import NCHeader
 from repro.rlnc.packet import CodedPacket
+from repro.util.rng import derive_rng
 
 ACK_PORT = 52018
 CONTROL_PAYLOAD_BYTES = 64
@@ -121,7 +122,9 @@ class NcSourceApp:
         self.coded = coded
         self.window_generations = window_generations
         self.payload_mode = payload_mode
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else derive_rng(
+            "apps.file_transfer.source", node.name, session.session_id
+        )
         self.total_generations = total_generations
         self.sent_generations = 0
         self.sent_packets = 0
@@ -556,7 +559,9 @@ class StripedSourceApp:
         self.trees = list(trees)
         self.tree_first_hops = dict(tree_first_hops)
         self.data_rate_mbps = data_rate_mbps
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else derive_rng(
+            "apps.file_transfer.striped", node.name, session.session_id
+        )
         self._credits = {tree_id: 0.0 for tree_id, _ in self.trees}
         self._total_rate = sum(rate for _, rate in self.trees)
         config = session.coding

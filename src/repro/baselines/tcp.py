@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util.rng import derive_rng
+
 
 @dataclass(frozen=True)
 class MathisModel:
@@ -107,7 +109,7 @@ def direct_tcp_throughput_mbps(
     rng: np.random.Generator | None = None,
 ) -> float:
     """Mean TCP throughput over the direct path (AIMD sim, Mathis-clamped)."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else derive_rng("baselines.tcp.direct")
     sim = TcpAimdSimulator(capacity_mbps=capacity_mbps, rtt_s=rtt_s, loss_rate=loss_rate)
     mean = sim.run(duration_s, rng)["mean_mbps"]
     bound = MathisModel().throughput_mbps(rtt_s, loss_rate, capacity_mbps)

@@ -16,6 +16,7 @@ import numpy as np
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.vm import VirtualMachine
 from repro.net.events import EventScheduler
+from repro.util.rng import derive_rng
 
 
 class ProviderError(RuntimeError):
@@ -51,7 +52,7 @@ class CloudProvider:
         self.scheduler = scheduler
         self.launch_latency = launch_latency if launch_latency is not None else LaunchLatency()
         self.vm_quota = vm_quota
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else derive_rng("cloud.provider", name)
         self.datacenters = {dc.name: dc for dc in datacenters}
         if len(self.datacenters) != len(datacenters):
             raise ValueError("duplicate data-center names")

@@ -42,6 +42,7 @@ from repro.rlnc.decoder import Decoder
 from repro.rlnc.generation import Generation
 from repro.rlnc.packet import CodedPacket
 from repro.rlnc.recoder import Recoder
+from repro.util.rng import derive_rng
 
 NC_PORT = 52017  # the designated UDP port coding VNFs listen on
 
@@ -79,7 +80,7 @@ class CodingVnf(Node):
         self.nic = nic if nic is not None else PollModeNic()
         self.update_model = update_model if update_model is not None else ForwardingUpdateModel()
         self.payload_mode = payload_mode
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else derive_rng("core.vnf", name)
 
         self.roles: dict[int, VnfRole] = {}
         self.configs: dict[int, CodingConfig] = {}

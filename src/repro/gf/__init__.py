@@ -18,7 +18,15 @@ The default field used throughout the reproduction is :data:`GF256`,
 matching the paper.
 """
 
-from repro.gf.field import GF16, GF256, GF65536, GaloisField
+from repro.gf.field import (
+    GF16,
+    GF256,
+    GF65536,
+    Coefficient,
+    FieldArray,
+    FieldLike,
+    GaloisField,
+)
 from repro.gf.matrix import (
     gf_inverse,
     gf_matmul,
@@ -31,6 +39,9 @@ from repro.gf.matrix import (
 
 __all__ = [
     "GaloisField",
+    "FieldArray",
+    "FieldLike",
+    "Coefficient",
     "GF16",
     "GF256",
     "GF65536",

@@ -12,7 +12,21 @@ tricks").
 
 from __future__ import annotations
 
+from typing import Any, Union
+
 import numpy as np
+import numpy.typing as npt
+
+#: An array of GF(2^w) elements.  The dtype is the owning field's
+#: (uint8 for w <= 8, uint16 for w = 16), which a static alias cannot
+#: express — hence the Any scalar type.
+FieldArray = npt.NDArray[Any]
+
+#: Anything accepted as field-element input: scalars, sequences, arrays.
+FieldLike = npt.ArrayLike
+
+#: A single coefficient: a Python int or a numpy integer scalar.
+Coefficient = Union[int, np.integer[Any]]
 
 # Primitive polynomials (with the leading x^w term included), the standard
 # choices used by Rijndael/Kodo-style libraries.
@@ -37,7 +51,7 @@ class GaloisField:
     like numpy) and return numpy arrays of the field's dtype.
     """
 
-    def __init__(self, w: int):
+    def __init__(self, w: int) -> None:
         if w not in _PRIMITIVE_POLY:
             raise ValueError(f"unsupported field exponent w={w}; choose from {sorted(_PRIMITIVE_POLY)}")
         self.w = w
@@ -66,14 +80,14 @@ class GaloisField:
 
     # -- element ops -------------------------------------------------
 
-    def add(self, a, b):
+    def add(self, a: FieldLike, b: FieldLike) -> FieldArray:
         """Field addition (= subtraction): bitwise XOR."""
         return np.bitwise_xor(np.asarray(a, dtype=self.dtype), np.asarray(b, dtype=self.dtype))
 
     # In characteristic 2 subtraction is addition.
     sub = add
 
-    def mul(self, a, b):
+    def mul(self, a: FieldLike, b: FieldLike) -> FieldArray:
         """Element-wise field multiplication via log/exp tables."""
         a = np.asarray(a, dtype=self.dtype)
         b = np.asarray(b, dtype=self.dtype)
@@ -81,7 +95,7 @@ class GaloisField:
         zero = (a == 0) | (b == 0)
         return np.where(zero, self.dtype(0), out)
 
-    def div(self, a, b):
+    def div(self, a: FieldLike, b: FieldLike) -> FieldArray:
         """Element-wise field division ``a / b``; raises on division by zero."""
         a = np.asarray(a, dtype=self.dtype)
         b = np.asarray(b, dtype=self.dtype)
@@ -90,14 +104,14 @@ class GaloisField:
         out = self._exp[self._log[a] - self._log[b] + (self.order - 1)]
         return np.where(a == 0, self.dtype(0), out)
 
-    def inv(self, a):
+    def inv(self, a: FieldLike) -> FieldArray:
         """Multiplicative inverse; raises on zero."""
         a = np.asarray(a, dtype=self.dtype)
         if np.any(a == 0):
             raise ZeroDivisionError("zero has no inverse in GF(2^w)")
         return self._exp[(self.order - 1) - self._log[a]]
 
-    def pow(self, a, n: int):
+    def pow(self, a: FieldLike, n: int) -> FieldArray:
         """Raise field element(s) to an integer power ``n >= 0``."""
         a = np.asarray(a, dtype=self.dtype)
         if n < 0:
@@ -110,7 +124,7 @@ class GaloisField:
 
     # -- bulk coding kernels -----------------------------------------
 
-    def scale(self, coeff, vec):
+    def scale(self, coeff: Coefficient, vec: FieldLike) -> FieldArray:
         """Multiply a whole vector/matrix by a scalar coefficient."""
         coeff = self.dtype(coeff)
         vec = np.asarray(vec, dtype=self.dtype)
@@ -122,7 +136,7 @@ class GaloisField:
         out[nz] = self._exp[self._log[vec[nz]] + shift]
         return out
 
-    def addmul(self, acc, coeff, vec):
+    def addmul(self, acc: FieldLike, coeff: Coefficient, vec: FieldLike) -> FieldArray:
         """Return ``acc + coeff * vec`` — the inner loop of RLNC coding.
 
         ``acc`` is not modified in place; callers accumulate with
@@ -130,7 +144,7 @@ class GaloisField:
         """
         return self.add(acc, self.scale(coeff, vec))
 
-    def linear_combination(self, coeffs, blocks):
+    def linear_combination(self, coeffs: FieldLike, blocks: FieldLike) -> FieldArray:
         """Combine rows of ``blocks`` with ``coeffs``: returns ``coeffs @ blocks``.
 
         ``coeffs`` has shape (k,), ``blocks`` shape (k, n); the result has
@@ -153,11 +167,11 @@ class GaloisField:
 
     # -- randomness ---------------------------------------------------
 
-    def random_elements(self, rng: np.random.Generator, size) -> np.ndarray:
+    def random_elements(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FieldArray:
         """Uniform random field elements (zero included)."""
         return rng.integers(0, self.order, size=size, dtype=np.uint32).astype(self.dtype)
 
-    def random_nonzero(self, rng: np.random.Generator, size) -> np.ndarray:
+    def random_nonzero(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FieldArray:
         """Uniform random nonzero field elements."""
         return rng.integers(1, self.order, size=size, dtype=np.uint32).astype(self.dtype)
 
@@ -166,7 +180,7 @@ class GaloisField:
     def __repr__(self) -> str:
         return f"GaloisField(2^{self.w})"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, GaloisField) and other.w == self.w
 
     def __hash__(self) -> int:

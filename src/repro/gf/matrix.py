@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gf.field import GaloisField
+from repro.gf.field import FieldArray, FieldLike, GaloisField
 
 
-def gf_matvec(field: GaloisField, mat: np.ndarray, vec: np.ndarray) -> np.ndarray:
+def gf_matvec(field: GaloisField, mat: FieldLike, vec: FieldLike) -> FieldArray:
     """Matrix-vector product ``mat @ vec`` over the field."""
     mat = np.asarray(mat, dtype=field.dtype)
     vec = np.asarray(vec, dtype=field.dtype)
@@ -27,7 +27,7 @@ def gf_matvec(field: GaloisField, mat: np.ndarray, vec: np.ndarray) -> np.ndarra
     return out
 
 
-def gf_matmul(field: GaloisField, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf_matmul(field: GaloisField, a: FieldLike, b: FieldLike) -> FieldArray:
     """Matrix product ``a @ b`` over the field."""
     a = np.asarray(a, dtype=field.dtype)
     b = np.asarray(b, dtype=field.dtype)
@@ -39,7 +39,7 @@ def gf_matmul(field: GaloisField, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def gf_rref(field: GaloisField, mat: np.ndarray) -> tuple[np.ndarray, list[int]]:
+def gf_rref(field: GaloisField, mat: FieldLike) -> tuple[FieldArray, list[int]]:
     """Reduced row-echelon form; returns ``(rref, pivot_columns)``."""
     m = np.array(mat, dtype=field.dtype, copy=True)
     if m.ndim != 2:
@@ -65,7 +65,7 @@ def gf_rref(field: GaloisField, mat: np.ndarray) -> tuple[np.ndarray, list[int]]
     return m, pivots
 
 
-def gf_rank(field: GaloisField, mat: np.ndarray) -> int:
+def gf_rank(field: GaloisField, mat: FieldLike) -> int:
     """Rank of a matrix over the field."""
     mat = np.asarray(mat, dtype=field.dtype)
     if mat.size == 0:
@@ -74,13 +74,13 @@ def gf_rank(field: GaloisField, mat: np.ndarray) -> int:
     return len(pivots)
 
 
-def is_invertible(field: GaloisField, mat: np.ndarray) -> bool:
+def is_invertible(field: GaloisField, mat: FieldLike) -> bool:
     """True iff ``mat`` is square and full-rank over the field."""
     mat = np.asarray(mat, dtype=field.dtype)
     return mat.ndim == 2 and mat.shape[0] == mat.shape[1] and gf_rank(field, mat) == mat.shape[0]
 
 
-def gf_inverse(field: GaloisField, mat: np.ndarray) -> np.ndarray:
+def gf_inverse(field: GaloisField, mat: FieldLike) -> FieldArray:
     """Matrix inverse over the field; raises ``np.linalg.LinAlgError`` if singular."""
     mat = np.asarray(mat, dtype=field.dtype)
     if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
@@ -93,7 +93,7 @@ def gf_inverse(field: GaloisField, mat: np.ndarray) -> np.ndarray:
     return rref[:, n:]
 
 
-def gf_solve(field: GaloisField, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf_solve(field: GaloisField, a: FieldLike, b: FieldLike) -> FieldArray:
     """Solve ``a @ x = b`` for square full-rank ``a``.
 
     ``b`` may be a vector or a matrix of stacked right-hand-side columns

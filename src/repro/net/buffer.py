@@ -12,7 +12,7 @@ buffers gain little — so that is the default.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable
+from typing import Any, Iterable
 
 DEFAULT_BUFFER_GENERATIONS = 1024
 
@@ -20,11 +20,11 @@ DEFAULT_BUFFER_GENERATIONS = 1024
 class GenerationBuffer:
     """FIFO buffer of per-generation packet lists for one session."""
 
-    def __init__(self, capacity_generations: int = DEFAULT_BUFFER_GENERATIONS):
+    def __init__(self, capacity_generations: int = DEFAULT_BUFFER_GENERATIONS) -> None:
         if capacity_generations <= 0:
             raise ValueError("buffer capacity must be at least one generation")
         self.capacity_generations = capacity_generations
-        self._generations: "OrderedDict[int, list]" = OrderedDict()
+        self._generations: OrderedDict[int, list[Any]] = OrderedDict()
         self.evicted_generations = 0
         self.stored_packets = 0
 
@@ -39,11 +39,11 @@ class GenerationBuffer:
         """Buffered generation ids, oldest first."""
         return iter(self._generations)
 
-    def packets(self, generation_id: int) -> list:
+    def packets(self, generation_id: int) -> list[Any]:
         """Packets stored for a generation (empty list if none)."""
         return self._generations.get(generation_id, [])
 
-    def add(self, generation_id: int, packet) -> bool:
+    def add(self, generation_id: int, packet: Any) -> bool:
         """Store a packet; returns False if its generation was just evicted.
 
         Inserting a *new* generation when the buffer is full evicts the
@@ -65,7 +65,7 @@ class GenerationBuffer:
         self.evicted_generations += 1
         self.stored_packets -= len(packets)
 
-    def release(self, generation_id: int) -> list:
+    def release(self, generation_id: int) -> list[Any]:
         """Remove and return a generation's packets (after decode/forward)."""
         packets = self._generations.pop(generation_id, [])
         self.stored_packets -= len(packets)

@@ -18,7 +18,7 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -40,7 +40,7 @@ class Event:
 class EventScheduler:
     """Priority-queue event loop with a simulated clock."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self.now = 0.0

@@ -21,6 +21,7 @@ import numpy as np
 from repro.net.events import EventScheduler
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Datagram
+from repro.util.rng import derive_rng
 
 DeliverFn = Callable[[Datagram], None]
 
@@ -30,7 +31,7 @@ class LinkStats:
 
     __slots__ = ("sent_packets", "sent_bytes", "delivered_packets", "delivered_bytes", "dropped_loss", "dropped_queue")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.sent_packets = 0
         self.sent_bytes = 0
         self.delivered_packets = 0
@@ -38,7 +39,7 @@ class LinkStats:
         self.dropped_loss = 0
         self.dropped_queue = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
@@ -56,7 +57,7 @@ class Link:
         queue_bytes: int = 256 * 1024,
         rng: np.random.Generator | None = None,
         jitter_s: float = 0.0,
-    ):
+    ) -> None:
         if capacity_bps <= 0:
             raise ValueError("capacity must be positive")
         if delay_s < 0:
@@ -71,7 +72,7 @@ class Link:
         self.loss = loss if loss is not None else NoLoss()
         self.queue_bytes = queue_bytes
         self.jitter_s = float(jitter_s)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else derive_rng("net.link", src, dst)
         self._deliver: DeliverFn | None = None
         self._backlog_bytes = 0
         # Time at which the transmitter becomes free; packets serialize
@@ -140,6 +141,7 @@ class Link:
     def _arrive(self, dgram: Datagram) -> None:
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += dgram.wire_bytes
+        assert self._deliver is not None  # send() refuses unconnected links
         self._deliver(dgram)
 
     # -- introspection ---------------------------------------------------

@@ -47,7 +47,7 @@ class NoLoss(LossModel):
 class UniformLoss(LossModel):
     """Independent drops with fixed probability ``rate``."""
 
-    def __init__(self, rate: float):
+    def __init__(self, rate: float) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"loss rate {rate} outside [0, 1]")
         self.rate = rate
@@ -66,7 +66,7 @@ class BurstLoss(LossModel):
     the previous packet's fate (0.25 in the paper's experiments).
     """
 
-    def __init__(self, p: float, correlation: float = 0.25):
+    def __init__(self, p: float, correlation: float = 0.25) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"loss probability {p} outside [0, 1]")
         if not 0.0 <= correlation < 1.0:
@@ -102,7 +102,7 @@ class LiteralRecursionLoss(LossModel):
     ``P / (1 − c)``.  Kept for the ablation comparing the two readings.
     """
 
-    def __init__(self, p: float, correlation: float = 0.25):
+    def __init__(self, p: float, correlation: float = 0.25) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"loss probability {p} outside [0, 1]")
         if not 0.0 <= correlation < 1.0:
@@ -129,7 +129,7 @@ class LiteralRecursionLoss(LossModel):
 class CompositeLoss(LossModel):
     """Drop if *any* of the component models drops (independent causes)."""
 
-    def __init__(self, *models: LossModel):
+    def __init__(self, *models: LossModel) -> None:
         if not models:
             raise ValueError("CompositeLoss needs at least one component")
         self.models = models

@@ -27,6 +27,7 @@ from repro.net.events import EventScheduler
 from repro.net.node import Node
 from repro.net.packet import Datagram
 from repro.net.topology import Topology
+from repro.util.rng import derive_rng
 
 PING_PORT = 7  # echo, naturally
 
@@ -68,7 +69,7 @@ class Pinger:
     by using :func:`path_rtt` for unloaded figures.
     """
 
-    def __init__(self, node: Node, peer: str, payload_bytes: int = 1472):
+    def __init__(self, node: Node, peer: str, payload_bytes: int = 1472) -> None:
         self.node = node
         self.peer = peer
         self.payload_bytes = payload_bytes
@@ -102,7 +103,7 @@ class Pinger:
         if sent is not None:
             self.samples.append(RttSample(sent_at=sent, rtt_s=self.node.scheduler.now - sent))
 
-    def stats_ms(self) -> dict:
+    def stats_ms(self) -> dict[str, float]:
         """min/max/average RTT in milliseconds over collected samples."""
         if not self.samples:
             raise RuntimeError("no RTT samples collected yet")
@@ -115,7 +116,7 @@ class BandwidthProbe:
 
     IPERF_PORT = 5201
 
-    def __init__(self, sender: Node, receiver: Node, payload_bytes: int = 1460):
+    def __init__(self, sender: Node, receiver: Node, payload_bytes: int = 1460) -> None:
         self.sender = sender
         self.receiver = receiver
         self.payload_bytes = payload_bytes
@@ -145,6 +146,7 @@ class BandwidthProbe:
         """Goodput observed at the receiver over the probe window."""
         if self._started_at is None:
             raise RuntimeError("probe has not been run")
+        assert self._finished_at is not None
         elapsed = max(self.receiver.scheduler.now, self._finished_at) - self._started_at
         return 8 * self.received_bytes / elapsed
 
@@ -165,14 +167,14 @@ class MeasurementService:
         interval_s: float = 600.0,
         noise_std: float = 0.0,
         rng: np.random.Generator | None = None,
-    ):
+    ) -> None:
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.topology = topology
         self.report = report
         self.interval_s = interval_s
         self.noise_std = noise_std
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else derive_rng("net.measurement")
         self._running = False
 
     def start(self) -> None:

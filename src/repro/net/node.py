@@ -9,7 +9,7 @@ override or register handlers; :class:`Host` is the plain concrete node.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.net.events import EventScheduler
 from repro.net.link import Link
@@ -21,7 +21,7 @@ Handler = Callable[[Datagram], None]
 class Node:
     """A named network endpoint with port-demultiplexed delivery."""
 
-    def __init__(self, name: str, scheduler: EventScheduler):
+    def __init__(self, name: str, scheduler: EventScheduler) -> None:
         self.name = name
         self.scheduler = scheduler
         self._out: dict[str, Link] = {}
@@ -73,7 +73,7 @@ class Node:
 
     # -- data path ---------------------------------------------------------
 
-    def send(self, dst: str, payload, payload_bytes: int, dst_port: int = 0) -> bool:
+    def send(self, dst: str, payload: Any, payload_bytes: int, dst_port: int = 0) -> bool:
         """Send one datagram to a directly connected neighbour."""
         dgram = Datagram(
             src=self.name,

@@ -48,7 +48,7 @@ class Datagram:
     dgram_id: int = field(default_factory=lambda: next(_dgram_ids))
     created_at: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
 

@@ -11,6 +11,7 @@ the routing and optimization layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
+from typing import Any
 
 import networkx as nx
 import numpy as np
@@ -19,6 +20,7 @@ from repro.net.events import EventScheduler
 from repro.net.link import Link
 from repro.net.loss import LossModel
 from repro.net.node import Host, Node
+from repro.util.rng import derive_rng
 
 
 @dataclass
@@ -47,15 +49,15 @@ class Topology:
     """A set of nodes and the directed links between them."""
 
     scheduler: EventScheduler = dataclass_field(default_factory=EventScheduler)
-    rng: np.random.Generator = dataclass_field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = dataclass_field(default_factory=lambda: derive_rng("net.topology"))
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.nodes: dict[str, Node] = {}
         self.links: dict[tuple[str, str], Link] = {}
 
     # -- construction -----------------------------------------------------
 
-    def add_node(self, node_or_name) -> Node:
+    def add_node(self, node_or_name: Node | str) -> Node:
         """Add a node (a :class:`Node` instance or a name for a Host)."""
         node = node_or_name if isinstance(node_or_name, Node) else Host(node_or_name, self.scheduler)
         if node.name in self.nodes:
@@ -92,7 +94,7 @@ class Topology:
         self.links[key] = link
         return link
 
-    def add_duplex(self, a: str, b: str, capacity_mbps: float, delay_ms: float, **kwargs) -> tuple[Link, Link]:
+    def add_duplex(self, a: str, b: str, capacity_mbps: float, delay_ms: float, **kwargs: Any) -> tuple[Link, Link]:
         """Add symmetric links in both directions."""
         fwd = self.add_link(LinkSpec(a, b, capacity_mbps, delay_ms, **kwargs))
         rev = self.add_link(LinkSpec(b, a, capacity_mbps, delay_ms, **kwargs))

@@ -31,7 +31,7 @@ class Decoder:
         block_count: int,
         block_bytes: int,
         field: GaloisField = GF256,
-    ):
+    ) -> None:
         self.session_id = session_id
         self.generation_id = generation_id
         self.block_count = block_count
@@ -54,7 +54,7 @@ class Decoder:
         """True once the generation can be fully decoded."""
         return self.rank == self.block_count
 
-    def missing_pivots(self) -> tuple:
+    def missing_pivots(self) -> tuple[int, ...]:
         """Pivot columns not yet covered — the blocks a NACK asks for.
 
         For a systematic (uncoded) stream these are exactly the missing

@@ -24,6 +24,7 @@ from repro.gf import GF256, GaloisField
 from repro.rlnc.generation import Generation
 from repro.rlnc.header import NCHeader
 from repro.rlnc.packet import CodedPacket
+from repro.util.rng import derive_rng
 
 
 class Encoder:
@@ -52,7 +53,7 @@ class Encoder:
         field: GaloisField = GF256,
         systematic: bool = True,
         rng: np.random.Generator | None = None,
-    ):
+    ) -> None:
         if field.order > 256:
             # Header stores one byte per coefficient; larger fields would
             # need a wider wire format.  GF(2^16) encoders are used only
@@ -62,7 +63,9 @@ class Encoder:
         self.generation = generation
         self.field = field
         self.systematic = systematic
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else derive_rng(
+            "rlnc.encoder", session_id, generation.generation_id
+        )
         self._emitted = 0
 
     @property
@@ -133,7 +136,7 @@ def encode_message(
     ``packets_per_generation`` is k + redundancy; the paper's NC0/NC1/NC2
     correspond to k, k+1 and k+2.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else derive_rng("rlnc.encode_message", session_id)
     out: list[CodedPacket] = []
     for gen in generations:
         enc = Encoder(session_id, gen, field=field, systematic=systematic, rng=rng)

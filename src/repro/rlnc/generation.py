@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 DEFAULT_BLOCK_BYTES = 1460
 DEFAULT_BLOCKS_PER_GENERATION = 4
@@ -32,9 +33,9 @@ class Generation:
     """
 
     generation_id: int
-    blocks: np.ndarray
+    blocks: npt.NDArray[np.uint8]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.blocks = np.asarray(self.blocks, dtype=np.uint8)
         if self.blocks.ndim != 2:
             raise ValueError("blocks must be a (k, block_bytes) matrix")
@@ -52,7 +53,7 @@ class Generation:
         """Generation size in the paper's sense: bytes per generation."""
         return self.block_count * self.block_bytes
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Generation)
             and self.generation_id == other.generation_id

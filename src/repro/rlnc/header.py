@@ -28,6 +28,7 @@ import struct
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 _FIXED = struct.Struct("!HIBB")
 
@@ -55,10 +56,10 @@ class NCHeader:
 
     session_id: int
     generation_id: int
-    coefficients: np.ndarray
+    coefficients: npt.NDArray[np.uint8]
     systematic: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         coeffs = np.asarray(self.coefficients, dtype=np.uint8)
         object.__setattr__(self, "coefficients", coeffs)
         if not 0 <= self.session_id < 1 << 16:
@@ -68,7 +69,7 @@ class NCHeader:
         if coeffs.ndim != 1 or not 1 <= coeffs.shape[0] <= 255:
             raise ValueError("coefficient vector must be 1-D with 1..255 entries")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, NCHeader)
             and self.session_id == other.session_id

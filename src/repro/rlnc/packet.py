@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.rlnc.header import NCHeader
 
@@ -21,9 +22,9 @@ class CodedPacket:
     """
 
     header: NCHeader
-    payload: np.ndarray
+    payload: npt.NDArray[np.uint8]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.payload = np.asarray(self.payload, dtype=np.uint8)
         if self.payload.ndim != 1:
             raise ValueError("payload must be a 1-D byte array")
@@ -37,7 +38,7 @@ class CodedPacket:
         return self.header.generation_id
 
     @property
-    def coefficients(self) -> np.ndarray:
+    def coefficients(self) -> npt.NDArray[np.uint8]:
         return self.header.coefficients
 
     @property
@@ -55,7 +56,7 @@ class CodedPacket:
         header, rest = NCHeader.decode(data)
         return cls(header=header, payload=np.frombuffer(rest, dtype=np.uint8).copy())
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, CodedPacket)
             and self.header == other.header

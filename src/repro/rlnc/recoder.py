@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gf import GF256, GaloisField
+from repro.gf import GF256, FieldArray, GaloisField
 from repro.rlnc.header import NCHeader
 from repro.rlnc.packet import CodedPacket
+from repro.util.rng import derive_rng
 
 
 class Recoder:
@@ -32,14 +33,16 @@ class Recoder:
         block_count: int,
         field: GaloisField = GF256,
         rng: np.random.Generator | None = None,
-    ):
+    ) -> None:
         self.session_id = session_id
         self.generation_id = generation_id
         self.block_count = block_count
         self.field = field
-        self._rng = rng if rng is not None else np.random.default_rng()
-        self._coeffs: list[np.ndarray] = []
-        self._payloads: list[np.ndarray] = []
+        self._rng = rng if rng is not None else derive_rng(
+            "rlnc.recoder", session_id, generation_id
+        )
+        self._coeffs: list[FieldArray] = []
+        self._payloads: list[FieldArray] = []
 
     @property
     def buffered(self) -> int:

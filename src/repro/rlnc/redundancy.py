@@ -28,7 +28,7 @@ class RedundancyPolicy:
 
     extra: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.extra < 0:
             raise ValueError("redundancy cannot be negative")
 

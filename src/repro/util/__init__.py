@@ -1,0 +1,5 @@
+"""Cross-cutting utilities shared by every layer of the simulator."""
+
+from repro.util.rng import DEFAULT_SEED, derive_rng, get_global_seed, set_global_seed
+
+__all__ = ["DEFAULT_SEED", "derive_rng", "get_global_seed", "set_global_seed"]

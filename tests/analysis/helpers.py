@@ -1,0 +1,19 @@
+"""Shared helpers for the lint-engine fixture tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+from repro.analysis.findings import Finding
+
+
+def lint(
+    source: str, path: str = "src/repro/mod.py", select: list[str] | None = None
+) -> list[Finding]:
+    """Lint a dedented snippet as if it lived at ``path``."""
+    return analyze_source(textwrap.dedent(source), path=path, select=select)
+
+
+def active_ids(findings: list[Finding]) -> list[str]:
+    return [f.rule_id for f in findings if not f.suppressed]

@@ -1,0 +1,177 @@
+"""RL001 fixtures: unseeded randomness and wall-clock reads."""
+
+from tests.analysis.helpers import active_ids, lint
+
+SELECT = ["RL001"]
+
+
+class TestFires:
+    def test_unseeded_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001"]
+        assert "derive_rng" in findings[0].message
+
+    def test_unseeded_default_rng_via_from_import(self):
+        findings = lint(
+            """
+            from numpy.random import default_rng
+
+            rng = default_rng()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001"]
+
+    def test_legacy_numpy_global_state(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            x = np.random.rand(3)
+            y = np.random.randint(0, 10)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001", "RL001"]
+
+    def test_stdlib_random_module(self):
+        findings = lint(
+            """
+            import random
+
+            x = random.random()
+            random.seed(0)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001", "RL001"]
+
+    def test_seedless_random_random_instance(self):
+        findings = lint(
+            """
+            import random
+
+            r = random.Random()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001"]
+
+    def test_wall_clock(self):
+        findings = lint(
+            """
+            import time
+
+            started = time.time()
+            t = time.perf_counter()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001", "RL001"]
+
+    def test_default_factory_fallback(self):
+        findings = lint(
+            """
+            from dataclasses import dataclass, field
+            import numpy as np
+
+            @dataclass
+            class C:
+                rng: np.random.Generator = field(default_factory=np.random.default_rng)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001"]
+
+
+class TestClean:
+    def test_seeded_default_rng(self):
+        assert lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(42)
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_seeded_random_instance_and_generator_api(self):
+        assert lint(
+            """
+            import random
+            import numpy as np
+
+            r = random.Random(7)
+            g = np.random.Generator(np.random.PCG64(3))
+            ss = np.random.SeedSequence([1, 2])
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_outside_repro_package_not_scoped(self):
+        assert lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+            path="tests/conftest.py",
+            select=SELECT,
+        ) == []
+
+    def test_helper_module_exempt(self):
+        assert lint(
+            """
+            import numpy as np
+
+            def derive():
+                return np.random.default_rng()
+            """,
+            path="src/repro/util/rng.py",
+            select=SELECT,
+        ) == []
+
+
+class TestSuppression:
+    def test_same_line_pragma(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro-lint: disable=RL001
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+        assert [f.rule_id for f in findings if f.suppressed] == ["RL001"]
+
+    def test_next_line_pragma(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            # repro-lint: disable-next-line=RL001
+            rng = np.random.default_rng()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_pragma_for_other_rule_does_not_apply(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro-lint: disable=RL002
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL001"]

@@ -1,0 +1,129 @@
+"""RL002 fixtures: native arithmetic applied to GF(2^w) values."""
+
+from tests.analysis.helpers import active_ids, lint
+
+SELECT = ["RL002"]
+
+
+class TestFires:
+    def test_plus_on_field_producer(self):
+        findings = lint(
+            """
+            def combine(field, acc, c, row):
+                return acc + field.scale(c, row)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL002"]
+        assert "`+`" in findings[0].message
+
+    def test_tainted_name_propagates(self):
+        findings = lint(
+            """
+            def f(field, a, b):
+                x = field.mul(a, b)
+                y = x
+                return y * 2
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL002"]
+
+    def test_augmented_assignment(self):
+        findings = lint(
+            """
+            def f(field, acc, c, row):
+                acc += field.scale(c, row)
+                return acc
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL002"]
+        assert "`+=`" in findings[0].message
+
+    def test_matrix_helper_producers(self):
+        findings = lint(
+            """
+            from repro.gf.matrix import gf_matvec
+
+            def f(field, m, v):
+                out = gf_matvec(field, m, v)
+                return out - 1
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL002"]
+
+    def test_self_assignment_reports(self):
+        findings = lint(
+            """
+            def f(field, x, a, b):
+                x = x + field.mul(a, b)
+                return x
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL002"]
+
+
+class TestClean:
+    def test_field_api_accumulation(self):
+        assert lint(
+            """
+            def combine(field, acc, c, row):
+                return field.add(acc, field.scale(c, row))
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_xor_is_field_addition(self):
+        assert lint(
+            """
+            def combine(field, acc, c, row):
+                return acc ^ field.scale(c, row)
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_reassignment_clears_taint(self):
+        assert lint(
+            """
+            def f(field, a, b):
+                x = field.mul(a, b)
+                x = 3
+                return x * 2
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_non_field_receiver_not_tainted(self):
+        assert lint(
+            """
+            def f(model, a, b):
+                x = model.mul(a, b)
+                return x + 1
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_integer_arithmetic_untouched(self):
+        assert lint(
+            """
+            def f(n, k):
+                return n * k + 1
+            """,
+            select=SELECT,
+        ) == []
+
+
+class TestSuppression:
+    def test_pragma_silences(self):
+        findings = lint(
+            """
+            def f(field, a, b):
+                return field.mul(a, b) * 2  # repro-lint: disable=RL002
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+        assert len(findings) == 1 and findings[0].suppressed

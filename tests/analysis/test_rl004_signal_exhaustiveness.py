@@ -1,0 +1,115 @@
+"""RL004 fixtures: cross-module signal-protocol exhaustiveness."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+PROTOCOL = """
+    class Signal:
+        pass
+
+    class NcAlpha(Signal):
+        pass
+
+    class NcBeta(Signal):
+        pass
+
+    class NcOrphan(Signal):
+        pass
+"""
+
+DAEMON = """
+    def handle_signal(signal):
+        if isinstance(signal, NcAlpha):
+            return "alpha"
+        if isinstance(signal, (NcGhost, tuple)):
+            return "ghost"
+        return None
+"""
+
+CONTROLLER = """
+    def plan():
+        return [NcBeta(target="V1"), NcPhantom(target="V1")]
+"""
+
+
+def _write_tree(root: Path, protocol=PROTOCOL, daemon=DAEMON, controller=CONTROLLER) -> Path:
+    core = root / "repro" / "core"
+    core.mkdir(parents=True)
+    if protocol is not None:
+        (core / "signals.py").write_text(textwrap.dedent(protocol))
+    if daemon is not None:
+        (core / "daemon.py").write_text(textwrap.dedent(daemon))
+    if controller is not None:
+        (core / "controller.py").write_text(textwrap.dedent(controller))
+    return core
+
+
+class TestFires:
+    def test_all_three_drift_bugs(self, tmp_path):
+        core = _write_tree(tmp_path)
+        result = analyze_paths([core], select=["RL004"])
+        messages = {f.message for f in result.active}
+        assert len(result.active) == 3
+        assert any("NcOrphan" in m and "neither dispatched" in m for m in messages)
+        assert any("unknown signal NcGhost" in m for m in messages)
+        assert any("unknown signal NcPhantom" in m for m in messages)
+
+    def test_orphan_anchored_at_protocol_class_line(self, tmp_path):
+        core = _write_tree(tmp_path)
+        result = analyze_paths([core], select=["RL004"])
+        orphan = [f for f in result.active if "NcOrphan" in f.message]
+        assert orphan and orphan[0].path.endswith("signals.py")
+
+
+class TestClean:
+    def test_closed_protocol(self, tmp_path):
+        core = _write_tree(
+            tmp_path,
+            daemon="""
+                def handle_signal(signal):
+                    if isinstance(signal, NcAlpha):
+                        return "alpha"
+                    if isinstance(signal, NcOrphan):
+                        return "orphan"
+            """,
+            controller="""
+                def plan():
+                    return [NcBeta(target="V1")]
+            """,
+        )
+        assert analyze_paths([core], select=["RL004"]).active == []
+
+    def test_silent_without_protocol_module(self, tmp_path):
+        core = _write_tree(tmp_path, protocol=None)
+        assert analyze_paths([core], select=["RL004"]).active == []
+
+    def test_silent_without_any_dispatcher(self, tmp_path):
+        core = _write_tree(tmp_path, daemon=None, controller=None)
+        assert analyze_paths([core], select=["RL004"]).active == []
+
+    def test_non_nc_names_ignored(self, tmp_path):
+        core = _write_tree(
+            tmp_path,
+            daemon="""
+                def handle_signal(signal):
+                    if isinstance(signal, NcAlpha):
+                        return "alpha"
+                    if isinstance(signal, (NcBeta, NcOrphan)):
+                        return "rest"
+                    if isinstance(signal, ValueError):
+                        raise signal
+            """,
+            controller="""
+                def plan():
+                    return [dict(target="V1")]
+            """,
+        )
+        assert analyze_paths([core], select=["RL004"]).active == []
+
+
+class TestRealTree:
+    def test_repo_protocol_is_closed(self):
+        result = analyze_paths(["src/repro/core"], select=["RL004"])
+        assert result.active == []

@@ -1,0 +1,119 @@
+"""RL005 fixtures: mutable default arguments."""
+
+from tests.analysis.helpers import active_ids, lint
+
+SELECT = ["RL005"]
+
+
+class TestFires:
+    def test_list_display_default(self):
+        findings = lint(
+            """
+            def f(x, acc=[]):
+                acc.append(x)
+                return acc
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL005"]
+        assert "f()" in findings[0].message
+
+    def test_dict_and_set_displays(self):
+        findings = lint(
+            """
+            def f(a={}, b={1, 2}):
+                return a, b
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL005", "RL005"]
+
+    def test_constructor_calls(self):
+        findings = lint(
+            """
+            from collections import OrderedDict, defaultdict
+
+            def f(a=list(), b=defaultdict(int), c=OrderedDict()):
+                return a, b, c
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL005"] * 3
+
+    def test_keyword_only_default(self):
+        findings = lint(
+            """
+            def f(*, registry={}):
+                return registry
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL005"]
+
+    def test_lambda_default(self):
+        findings = lint(
+            """
+            g = lambda xs=[]: xs
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL005"]
+        assert "<lambda>" in findings[0].message
+
+    def test_comprehension_default(self):
+        findings = lint(
+            """
+            def f(squares=[i * i for i in range(4)]):
+                return squares
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL005"]
+
+
+class TestClean:
+    def test_none_sentinel_pattern(self):
+        assert lint(
+            """
+            def f(x, acc=None):
+                if acc is None:
+                    acc = []
+                acc.append(x)
+                return acc
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_immutable_defaults(self):
+        assert lint(
+            """
+            def f(a=0, b="x", c=(1, 2), d=frozenset({1}), e=None):
+                return a, b, c, d, e
+            """,
+            select=SELECT,
+        ) == []
+
+    def test_dataclass_default_factory_is_fine(self):
+        assert lint(
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class C:
+                entries: dict = field(default_factory=dict)
+            """,
+            select=SELECT,
+        ) == []
+
+
+class TestSuppression:
+    def test_pragma_silences(self):
+        findings = lint(
+            """
+            def f(x, acc=[]):  # repro-lint: disable=RL005
+                return acc
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+        assert len(findings) == 1 and findings[0].suppressed

@@ -1,0 +1,40 @@
+"""Gated static-tooling checks: mypy --strict and ruff.
+
+The container used for day-to-day test runs does not ship mypy or ruff;
+CI installs both.  These tests therefore skip cleanly when the tool is
+absent and act as the local entry point when it is installed, so the
+same command (``pytest tests/test_toolchain.py``) works in both places.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_mypy_strict_core_packages() -> None:
+    pytest.importorskip("mypy", reason="mypy not installed; enforced in CI")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"mypy --strict failed:\n{result.stdout}{result.stderr}"
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed; enforced in CI")
+def test_ruff_clean() -> None:
+    result = subprocess.run(
+        ["ruff", "check", "src", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"ruff check failed:\n{result.stdout}{result.stderr}"
