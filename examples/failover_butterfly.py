@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Failover demo: a relay VNF dies mid-transfer and the system recovers.
+
+Two levels of the same story:
+
+1. Packet level — the Fig. 6 butterfly streams RLNC multicast while the
+   fault injector pulls the power cord on relay V2 (all links down,
+   daemon killed).  Heartbeats stop, the failure detector fires, pruned
+   forwarding tables go out and the source falls back to the side
+   branches.  Both receivers keep decoding; the recovery latency is the
+   data plane's MTTR.
+2. Flow level — the six-data-center world with live cloud providers: a
+   VM is crashed under the controller, missed heartbeats trigger the
+   recovery pipeline, a replacement VM boots and the fleet meets the
+   requirement again.  That gap is the fleet's MTTR.
+
+Run:  python examples/failover_butterfly.py          (~30 s)
+"""
+
+from repro.experiments.failures import run_butterfly_failover, run_fleet_failover
+
+
+def main() -> None:
+    print("packet level: crashing relay V2 at t=1.0 s mid-transfer...")
+    r = run_butterfly_failover(duration_s=6.0)
+    print(f"  failure injected at            t={r.failed_at:.2f} s")
+    print(f"  declared dead (heartbeats) at  t={r.detected_at:.2f} s "
+          f"(detection latency {r.detection_latency_s * 1e3:.0f} ms)")
+    print(f"  recovery latency (MTTR):       {r.recovery_latency_s * 1e3:.0f} ms")
+    print(f"  recovered: {r.recovered}")
+    for name in sorted(r.receivers):
+        print(f"  {name}: {r.decoded_before[name]} generations decoded before the crash, "
+              f"{r.decoded_after[name]} after "
+              f"({r.post_recovery_throughput_mbps[name]:.1f} Mbps post-recovery)")
+    print(f"  undeliverable control signals: {r.undeliverable_signals}")
+
+    print("\nflow level: crashing an in-use VM under the controller...")
+    f = run_fleet_failover()
+    print(f"  {f.failed_vm} ({f.failed_datacenter}) crashed at t={f.failed_at:.0f} s")
+    print(f"  detected after {f.detection_latency_s:.0f} s of missed heartbeats")
+    print(f"  fleet restored at t={f.restored_at:.0f} s -> MTTR {f.mttr_s:.0f} s "
+          f"(detection + replacement VM boot)")
+    print(f"  scaling log recorded {len(f.vnf_failure_events)} vnf_failure event(s)")
+    if f.quarantined:
+        print(f"  quarantined data centers: {', '.join(f.quarantined)}")
+
+
+if __name__ == "__main__":
+    main()

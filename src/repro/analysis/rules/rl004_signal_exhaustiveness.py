@@ -1,33 +1,35 @@
 """RL004 — control-signal protocol exhaustiveness.
 
-The paper's control plane is a closed protocol: five ``NC_*`` signals
-travel from the controller to daemons (§III-A).  Two drift bugs are
-easy to introduce and invisible at runtime until an experiment silently
+The paper's control plane is a closed protocol: ``NC_*`` signals travel
+between the controller and daemons (§III-A).  Two drift bugs are easy
+to introduce and invisible at runtime until an experiment silently
 misbehaves:
 
-1. a new ``Signal`` subclass is added to ``core/signals.py`` but no
-   ``isinstance`` branch in the daemon's dispatcher (nor any controller
-   use) ever handles it — the bus delivers it into the void;
-2. controller or daemon references a signal class that no longer exists
-   in the protocol module (renamed, removed) — caught at import time
-   only if the import is still there, not when the name is built
+1. a ``Signal`` subclass is declared but no ``isinstance`` branch in
+   any dispatcher ever handles it and no consumer constructs it — the
+   bus would deliver it into the void;
+2. a dispatcher or consumer mentions a signal class that no longer
+   exists in the protocol (renamed, removed) — caught at import time
+   only if an import still binds the name, not when it is built
    dynamically.
 
-This project rule cross-references three modules found among the
-scanned files:
+Discovery is structural, not filename-based, so extension packages get
+the same checking as ``repro.core``:
 
-- the *protocol module*: defines ``class Signal`` plus its subclasses
-  (``core/signals.py`` in this repo);
-- the *daemon module* (``daemon.py``): handlers are ``isinstance``
-  checks against signal classes;
-- the *controller module* (``controller.py``): signals it constructs or
-  consumes.
+- the *protocol* is every class subclassing ``Signal`` in **any**
+  scanned module; a module declaring ``class Signal`` itself must be in
+  the scanned set, or the rule stays silent (linting a file subset must
+  not fabricate protocol holes);
+- a *dispatcher* is any module with a ``handle_signal`` function or a
+  function taking a ``Signal``-annotated parameter;
+- a *consumer* is any module that constructs a known signal class.
 
-Every signal class must be dispatched by the daemon **or** consumed by
-the controller; every ``Nc*``-shaped class the dispatchers mention must
-exist in the protocol.  If the scanned file set lacks the protocol
-module or both dispatcher modules, the rule stays silent (linting a
-file subset must not fabricate protocol holes).
+Every declared signal must be ``isinstance``-dispatched or referenced
+by a dispatcher/consumer; every ``Nc*``-shaped name a dispatcher tests
+or a consumer calls must exist in the protocol, unless the name is
+bound by an import (a stale import already fails at import time) or is
+defined as an ordinary class in the scanned tree (``NcSourceApp`` is
+an application, not a signal).
 """
 
 from __future__ import annotations
@@ -42,18 +44,29 @@ from repro.analysis.registry import ProjectRule, register
 
 _SIGNAL_BASE = "Signal"
 
-#: Signal classes are CamelCase with an ``Nc`` prefix in this codebase.
+#: Signal classes are CamelCase with an ``Nc`` prefix in this codebase;
+#: the unknown-name checks use the shape to avoid flagging arbitrary
+#: classes a dispatcher might legitimately test against.
 _SIGNAL_NAME = re.compile(r"^Nc[A-Z]\w*$")
+
+_HANDLER_NAMES = ("handle_signal", "_handle_signal")
+
+
+def _base_name(base: ast.expr) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
 
 
 def _signal_classes(tree: ast.Module) -> dict[str, int]:
-    """Direct ``Signal`` subclasses defined in a module: name -> line."""
+    """Direct ``Signal`` subclasses declared in a module: name -> line."""
     out: dict[str, int] = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef):
-            for base in node.bases:
-                if isinstance(base, ast.Name) and base.id == _SIGNAL_BASE:
-                    out[node.name] = node.lineno
+            if any(_base_name(base) == _SIGNAL_BASE for base in node.bases):
+                out[node.name] = node.lineno
     return out
 
 
@@ -61,6 +74,42 @@ def _defines_signal_base(tree: ast.Module) -> bool:
     return any(
         isinstance(node, ast.ClassDef) and node.name == _SIGNAL_BASE for node in ast.walk(tree)
     )
+
+
+def _class_names(tree: ast.Module) -> set[str]:
+    return {node.name for node in ast.walk(tree) if isinstance(node, ast.ClassDef)}
+
+
+def _imported_names(tree: ast.Module) -> set[str]:
+    """Names bound by ``import``/``from ... import`` in a module."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                out.add(alias.asname or alias.name.split(".")[0])
+    return out
+
+
+def _annotation_is_signal(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant):  # string annotation
+        return annotation.value == _SIGNAL_BASE
+    return _base_name(annotation) == _SIGNAL_BASE
+
+
+def _is_dispatcher(tree: ast.Module) -> bool:
+    """A module with a signal handler: named for it, or typed for it."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name in _HANDLER_NAMES:
+            return True
+        args = node.args
+        every_arg = args.posonlyargs + args.args + args.kwonlyargs
+        if any(_annotation_is_signal(arg.annotation) for arg in every_arg):
+            return True
+    return False
 
 
 def _isinstance_targets(tree: ast.Module) -> dict[str, int]:
@@ -79,13 +128,18 @@ def _isinstance_targets(tree: ast.Module) -> dict[str, int]:
     return out
 
 
-def _referenced_names(tree: ast.Module) -> dict[str, int]:
-    """Every plain name loaded in a module: name -> first line."""
-    out: dict[str, int] = {}
+def _called_names(tree: ast.Module) -> dict[str, ast.Call]:
+    """Plain names called in a module: name -> first call node."""
+    out: dict[str, ast.Call] = {}
     for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            out.setdefault(node.id, node.lineno)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            out.setdefault(node.func.id, node)
     return out
+
+
+def _referenced_names(tree: ast.Module) -> set[str]:
+    """Every plain name loaded in a module."""
+    return {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
 
 
 @register
@@ -95,62 +149,88 @@ class SignalExhaustivenessRule(ProjectRule):
     description = "every protocol signal handled; no unknown signals dispatched"
 
     def check_project(self, modules: Iterable[SourceModule]) -> Iterator[Finding]:
-        protocol = None
-        daemons: list[SourceModule] = []
-        controllers: list[SourceModule] = []
-        for module in modules:
-            if _defines_signal_base(module.tree) and _signal_classes(module.tree):
-                protocol = module
-            if module.path.name == "daemon.py":
-                daemons.append(module)
-            elif module.path.name == "controller.py":
-                controllers.append(module)
-        if protocol is None or not (daemons or controllers):
+        modules = list(modules)
+        if not any(_defines_signal_base(m.tree) for m in modules):
             return
 
-        signals = _signal_classes(protocol.tree)
-        dispatched: set[str] = set()
-        for daemon in daemons:
-            dispatched.update(_isinstance_targets(daemon.tree))
-        consumed: set[str] = set()
-        for controller in controllers:
-            consumed.update(_referenced_names(controller.tree))
+        # The protocol: Signal subclasses declared anywhere in the tree,
+        # anchored at the module that declares them.
+        declared: dict[str, tuple[SourceModule, int]] = {}
+        for module in modules:
+            for name, line in _signal_classes(module.tree).items():
+                declared.setdefault(name, (module, line))
+        if not declared:
+            return
 
-        # 1. Every protocol signal must be handled somewhere.
-        for name, line in sorted(signals.items()):
+        all_classes: set[str] = set()
+        for module in modules:
+            all_classes.update(_class_names(module.tree))
+
+        dispatchers = [m for m in modules if _is_dispatcher(m.tree)]
+        consumers = [
+            m for m in modules
+            if any(name in declared for name in _called_names(m.tree))
+        ]
+        if not dispatchers and not consumers:
+            return
+
+        dispatched: set[str] = set()
+        for dispatcher in dispatchers:
+            dispatched.update(_isinstance_targets(dispatcher.tree))
+        consumed: set[str] = set()
+        for module in {id(m): m for m in dispatchers + consumers}.values():
+            consumed.update(_referenced_names(module.tree))
+
+        # 1. Every declared signal must be handled somewhere.
+        for name, (module, line) in sorted(declared.items()):
             if name not in dispatched and name not in consumed:
                 yield Finding(
                     rule_id=self.rule_id,
-                    path=protocol.posix_path,
+                    path=module.posix_path,
                     line=line,
                     col=0,
                     message=(
-                        f"signal {name} is neither dispatched by the daemon nor consumed "
-                        "by the controller: the bus would deliver it into the void"
+                        f"signal {name} is neither dispatched by a handler nor consumed "
+                        "by a controller: the bus would deliver it into the void"
                     ),
                 )
 
-        # 2. No dispatcher may mention a signal the protocol lacks.
-        for daemon in daemons:
-            for name, line in sorted(_isinstance_targets(daemon.tree).items()):
-                if _SIGNAL_NAME.match(name) and name not in signals and name != _SIGNAL_BASE:
+        # 2. No dispatcher may test, and no consumer construct, an
+        #    ``Nc*``-shaped name the protocol lacks — unless an import
+        #    binds it (stale imports fail by themselves) or it is an
+        #    ordinary class defined in the scanned tree.
+        def _unknown(name: str, module: SourceModule) -> bool:
+            return (
+                _SIGNAL_NAME.match(name) is not None
+                and name != _SIGNAL_BASE
+                and name not in declared
+                and name not in all_classes
+                and name not in _imported_names(module.tree)
+            )
+
+        for dispatcher in dispatchers:
+            for name, line in sorted(_isinstance_targets(dispatcher.tree).items()):
+                if _unknown(name, dispatcher):
                     yield Finding(
                         rule_id=self.rule_id,
-                        path=daemon.posix_path,
+                        path=dispatcher.posix_path,
                         line=line,
                         col=0,
-                        message=f"daemon dispatches unknown signal {name}: not defined in the protocol module",
+                        message=(
+                            f"handler dispatches unknown signal {name}: "
+                            "not declared in the protocol"
+                        ),
                     )
-        for controller in controllers:
-            for node in ast.walk(controller.tree):
-                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
-                    continue
-                name = node.func.id
-                if _SIGNAL_NAME.match(name) and name not in signals:
+        for consumer in consumers:
+            for name, call in sorted(_called_names(consumer.tree).items()):
+                if _unknown(name, consumer):
                     yield Finding(
                         rule_id=self.rule_id,
-                        path=controller.posix_path,
-                        line=node.lineno,
-                        col=node.col_offset,
-                        message=f"controller constructs unknown signal {name}: not defined in the protocol module",
+                        path=consumer.posix_path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"module constructs unknown signal {name}: "
+                            "not declared in the protocol"
+                        ),
                     )

@@ -159,6 +159,28 @@ class NcSourceApp:
     def stop(self) -> None:
         self._running = False
 
+    def reconfigure(self, data_rate_mbps: float | None = None, link_shares: dict | None = None) -> None:
+        """Apply a controller re-route mid-run (the recovery path).
+
+        Takes effect from the next generation: the pacing interval and
+        the per-link conceptual-flow shares are recomputed.  Credits of
+        surviving links carry over so the largest-remainder packet
+        allocation stays exact across the switch.
+        """
+        if data_rate_mbps is not None:
+            if data_rate_mbps <= 0:
+                raise ValueError("data rate must be positive")
+            self.data_rate_mbps = data_rate_mbps
+            self._gen_interval_s = self.session.coding.generation_bytes * 8 / (data_rate_mbps * 1e6)
+        if link_shares is not None:
+            if not link_shares:
+                raise ValueError("the source needs at least one outgoing link share")
+            old_credit = {share.next_hop: share.credit for share in self.shares}
+            self.shares = [
+                LinkShare(hop, rate, credit=old_credit.get(hop, 0.0))
+                for hop, rate in link_shares.items()
+            ]
+
     # -- flow control -----------------------------------------------------
 
     @property
@@ -371,6 +393,7 @@ class NcReceiverApp:
         ack_to: str | None = None,
         ack_interval_s: float = 0.03,
         stall_generations: int = 128,
+        stall_timeout_s: float = 0.25,
         nack_retry_s: float = 0.4,
         max_nacks_per_generation: int = 8,
         ack_immediately: bool = False,
@@ -382,6 +405,7 @@ class NcReceiverApp:
         self.ack_immediately = ack_immediately
         self.ack_interval_s = ack_interval_s
         self.stall_generations = stall_generations
+        self.stall_timeout_s = stall_timeout_s
         self.nack_retry_s = nack_retry_s
         self.max_nacks_per_generation = max_nacks_per_generation
         config = session.coding
@@ -392,6 +416,7 @@ class NcReceiverApp:
         self.redundant_packets = 0
         self.nacks_sent = 0
         self.highest_seen = -1
+        self._last_packet_at = -1e9
         self._cum_ack = -1
         self._nack_state: dict[int, tuple] = {}  # gen -> (count, last_sent_at)
         self._ack_timer_running = False
@@ -406,6 +431,7 @@ class NcReceiverApp:
         if not isinstance(packet, CodedPacket) or packet.session_id != self.session.session_id:
             return
         self.received_packets += 1
+        self._last_packet_at = self.node.scheduler.now
         gen_id = packet.generation_id
         self.highest_seen = max(self.highest_seen, gen_id)
         if gen_id in self.completed:
@@ -458,6 +484,17 @@ class NcReceiverApp:
         decoder map alone would never notice those.
         """
         horizon = self.highest_seen - self.stall_generations
+        if (
+            self.highest_seen > self._cum_ack
+            and self.node.scheduler.now - self._last_packet_at > self.stall_timeout_s
+        ):
+            # Dead air with work outstanding: the count-based horizon
+            # assumes a flowing pipeline, but here the stream itself has
+            # stopped (an upstream failure stalled the source's window —
+            # highest_seen will never advance on its own).  Everything
+            # outstanding is fair NACK game; the repairs are what
+            # reopen the window.
+            horizon = self.highest_seen
         stalled = [g for g in self._decoders if g <= horizon]
         start = self._cum_ack + 1
         if horizon - start < 4 * self.stall_generations:

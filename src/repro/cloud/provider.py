@@ -82,6 +82,19 @@ class CloudProvider:
         self._vms[vm.vm_id] = vm
         return vm
 
+    def fail_vm(self, vm_id: str) -> VirtualMachine:
+        """Crash a VM (substrate event, not an API call — no charge).
+
+        This is the fault-injection entry point: the instance drops to
+        FAILED, its billing stops, and — unlike ``terminate_vm`` — the
+        controller is *not* told; it has to notice via missed heartbeats.
+        """
+        vm = self._vms.get(vm_id)
+        if vm is None:
+            raise ProviderError(f"{self.name} has no VM {vm_id!r}")
+        vm.fail()
+        return vm
+
     def terminate_vm(self, vm_id: str, graceful: bool = True) -> None:
         """Shut a VM down — graceful opens the τ window, else immediate."""
         self.api_calls += 1

@@ -29,6 +29,7 @@ from repro.core.scaling import ScalingConfig, ScalingEngine
 from repro.core.session import CodingConfig, MulticastSession
 from repro.core.signals import (
     NcForwardTab,
+    NcHeartbeat,
     NcSettings,
     NcStart,
     NcVnfEnd,
@@ -44,6 +45,7 @@ __all__ = [
     "Signal",
     "SignalBus",
     "NcStart",
+    "NcHeartbeat",
     "NcVnfStart",
     "NcVnfEnd",
     "NcForwardTab",

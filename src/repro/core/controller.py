@@ -28,8 +28,17 @@ from repro.cloud.provider import CloudProvider
 from repro.core.deployment import DataCenterSpec, DeploymentPlan, DeploymentProblem
 from repro.core.forwarding import ForwardingTable
 from repro.core.session import MulticastSession
-from repro.core.signals import NcForwardTab, NcSettings, NcStart, NcVnfEnd, NcVnfStart, SignalBus
-from repro.net.events import EventScheduler
+from repro.core.signals import (
+    NcForwardTab,
+    NcHeartbeat,
+    NcSettings,
+    NcStart,
+    NcVnfEnd,
+    NcVnfStart,
+    Signal,
+    SignalBus,
+)
+from repro.net.events import EventScheduler, PeriodicEvent
 from repro.routing.conceptual import FlowDecomposition
 
 
@@ -48,6 +57,73 @@ class FleetState:
 
     def running_or_pending(self) -> list:
         return [vm for vm in self.vms if vm.state.value in ("running", "pending")]
+
+    def failed(self) -> list:
+        return [vm for vm in self.vms if vm.state.value == "failed"]
+
+
+class HeartbeatMonitor:
+    """Failure detector: a watched name missing ``miss_threshold``
+    consecutive heartbeat intervals is declared dead.
+
+    The monitor only *counts*; feeding it (``beat``) and reacting to
+    deaths (``on_dead``) are the controller's job.  Checks run on the
+    shared event scheduler so detection latency is deterministic.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        interval_s: float = 1.0,
+        miss_threshold: int = 3,
+        on_dead=None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss threshold must be at least 1")
+        self.scheduler = scheduler
+        self.interval_s = interval_s
+        self.miss_threshold = miss_threshold
+        self.on_dead = on_dead
+        self.last_heard: dict[str, float] = {}
+        self.dead: dict[str, float] = {}  # name -> declared-dead time
+        self._ticker: PeriodicEvent | None = scheduler.schedule_every(interval_s, self._check)
+
+    def watch(self, name: str) -> None:
+        """Start (or restart) expecting heartbeats from ``name``.
+
+        The grace period starts *now* even if the name was watched
+        before: re-adopting a restarted daemon must not inherit the
+        stale last-heard time that got it declared dead.
+        """
+        self.last_heard[name] = self.scheduler.now
+        self.dead.pop(name, None)
+
+    def unwatch(self, name: str) -> None:
+        """Stop expecting heartbeats (planned shutdown, not a failure)."""
+        self.last_heard.pop(name, None)
+        self.dead.pop(name, None)
+
+    def beat(self, name: str) -> None:
+        if name in self.last_heard:
+            self.last_heard[name] = self.scheduler.now
+
+    def stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.cancel()
+            self._ticker = None
+
+    def _check(self) -> None:
+        now = self.scheduler.now
+        deadline = self.miss_threshold * self.interval_s
+        for name, heard in list(self.last_heard.items()):
+            if name in self.dead:
+                continue
+            if now - heard > deadline + 1e-9:
+                self.dead[name] = now
+                if self.on_dead is not None:
+                    self.on_dead(name)
 
 
 class Controller:
@@ -83,13 +159,27 @@ class Controller:
         self.fleet: dict[str, FleetState] = {name: FleetState() for name in self.datacenters}
         self.solves = 0
 
+        # Failure handling (opt-in via enable_failure_detection).
+        self.monitor: HeartbeatMonitor | None = None
+        self.disabled_datacenters: set[str] = set()
+        self.on_vnf_failure: list = []  # callbacks fn(vnf_name, datacenter)
+        self.failures: list[dict] = []  # audit log of handled failures
+        self._watched_vnfs: dict[str, tuple] = {}  # name -> (datacenter, vm | None)
+
     # -- problem construction ------------------------------------------------
 
     def problem(self, alpha: float | None = None) -> DeploymentProblem:
-        """A fresh :class:`DeploymentProblem` over the current graph."""
+        """A fresh :class:`DeploymentProblem` over the current graph.
+
+        Data centers quarantined by the failure handler are excluded, so
+        a re-solve routes around them.
+        """
+        usable_dcs = [
+            dc for name, dc in self.datacenters.items() if name not in self.disabled_datacenters
+        ]
         return DeploymentProblem(
             self.graph,
-            list(self.datacenters.values()),
+            usable_dcs,
             alpha=self.alpha if alpha is None else alpha,
             source_outbound_mbps=self.source_outbound_mbps,
             receiver_inbound_mbps=self.receiver_inbound_mbps,
@@ -416,3 +506,95 @@ class Controller:
             dc.inbound_mbps = inbound_mbps
         if outbound_mbps is not None:
             dc.outbound_mbps = outbound_mbps
+
+    # -- failure detection & recovery (heartbeat loop) -----------------------------------
+
+    def enable_failure_detection(
+        self, heartbeat_interval_s: float = 1.0, miss_threshold: int = 3
+    ) -> HeartbeatMonitor:
+        """Start the heartbeat-based failure detector.
+
+        Registers the controller itself on the signal bus (address
+        ``"controller"``) so daemons' NC_HEARTBEAT beacons reach it, and
+        starts a :class:`HeartbeatMonitor` that declares any watched VNF
+        dead after ``miss_threshold`` silent intervals.  Opt-in: plain
+        planning-mode controllers never touch the bus registry.
+        """
+        if self.monitor is not None:
+            return self.monitor
+        self.monitor = HeartbeatMonitor(
+            self.scheduler,
+            interval_s=heartbeat_interval_s,
+            miss_threshold=miss_threshold,
+            on_dead=self._handle_vnf_failure,
+        )
+        if not self.bus.is_registered("controller"):
+            self.bus.register("controller", self._handle_signal)
+        return self.monitor
+
+    def watch_vnf(self, name: str, datacenter: str, vm=None) -> None:
+        """Expect heartbeats from VNF ``name`` hosted in ``datacenter``."""
+        if self.monitor is None:
+            raise RuntimeError("call enable_failure_detection() first")
+        self._watched_vnfs[name] = (datacenter, vm)
+        self.monitor.watch(name)
+
+    def unwatch_vnf(self, name: str) -> None:
+        """Planned retirement: stop expecting heartbeats, no failure."""
+        self._watched_vnfs.pop(name, None)
+        if self.monitor is not None:
+            self.monitor.unwatch(name)
+
+    def _handle_signal(self, signal: Signal) -> None:
+        """Controller-addressed signals: heartbeats and its own VNF-start notes."""
+        if isinstance(signal, NcHeartbeat):
+            if self.monitor is not None:
+                self.monitor.beat(signal.vnf_name)
+        elif isinstance(signal, NcVnfStart):
+            pass  # the controller's own launch notification; already acted on
+
+    def _handle_vnf_failure(self, name: str) -> None:
+        """Declared-dead VNF: mark, quarantine if needed, route around.
+
+        Runs the full recovery pipeline: fail the backing VM, quarantine
+        the data center when it has no usable VM left (and another DC
+        can take the load), re-solve the affected sessions,
+        reconcile the fleet, and push fresh forwarding tables.
+        """
+        datacenter, vm = self._watched_vnfs.pop(name, ("", None))
+        if self.monitor is not None:
+            self.monitor.unwatch(name)
+        if vm is not None and vm.state.value not in ("failed", "terminated"):
+            vm.fail()
+        state = self.fleet.get(datacenter)
+        quarantined = False
+        if state is not None and not state.usable() and not state.running_or_pending():
+            alternatives = set(self.datacenters) - self.disabled_datacenters - {datacenter}
+            if alternatives:
+                self.disabled_datacenters.add(datacenter)
+                quarantined = True
+        record = {
+            "time": self.scheduler.now,
+            "vnf": name,
+            "datacenter": datacenter,
+            "quarantined": quarantined,
+        }
+        self.failures.append(record)
+        for callback in list(self.on_vnf_failure):
+            callback(name, datacenter)
+        affected = [
+            sid
+            for sid, decomposition in self.decompositions.items()
+            if any(
+                datacenter in edge and rate > 1e-9
+                for edge, rate in decomposition.link_rates().items()
+            )
+        ]
+        if affected:
+            self._resolve_sessions(affected, reconcile=False)
+        self.reconcile_fleet()
+        self.push_forwarding_tables()
+
+    def restore_datacenter(self, name: str) -> None:
+        """Lift a failure quarantine (the DC is healthy again)."""
+        self.disabled_datacenters.discard(name)

@@ -6,6 +6,19 @@ the coding function up when NC_SETTINGS arrives (starting a coding
 function on a launched VM costs ~376 ms, §V-C5), applies forwarding
 tables (the SIGUSR1 cycle), and tears the VNF down on NC_VNF_END after
 the τ grace.
+
+Fault model: the daemon is a process, and processes die.  ``kill()``
+models a crash — the daemon unregisters from the bus (in-flight signals
+addressed to it go through the bus's retry-then-undeliverable path),
+stops its heartbeat, and forgets any queued-but-unapplied forwarding
+table.  ``restart()`` brings a fresh daemon process up on the same
+node: it re-registers and resumes heartbeats, but the coding function
+is *not* running until the controller re-sends NC_SETTINGS — exactly
+the amnesia a real supervisor restart has.
+
+When ``heartbeat_interval_s`` is set, the daemon emits periodic
+``NC_HEARTBEAT`` signals to the controller; the controller's failure
+detector declares the VNF dead after a configurable number of misses.
 """
 
 from __future__ import annotations
@@ -14,10 +27,21 @@ from typing import Callable
 
 from repro.core.forwarding import ForwardingTable
 from repro.core.session import CodingConfig
-from repro.core.signals import NcForwardTab, NcSettings, NcStart, NcVnfEnd, Signal, SignalBus
+from repro.core.signals import (
+    NcForwardTab,
+    NcHeartbeat,
+    NcSettings,
+    NcStart,
+    NcVnfEnd,
+    Signal,
+    SignalBus,
+)
 from repro.core.vnf import CodingVnf, VnfRole
+from repro.net.events import PeriodicEvent
 
 VNF_START_LATENCY_S = 0.37621  # measured average in §V-C5
+
+CONTROLLER_NAME = "controller"  # the bus address failure reports go to
 
 
 class VnfDaemon:
@@ -30,22 +54,83 @@ class VnfDaemon:
         session_configs: dict | None = None,
         on_shutdown: Callable[["VnfDaemon"], None] | None = None,
         vnf_start_latency_s: float = VNF_START_LATENCY_S,
+        heartbeat_interval_s: float | None = None,
+        controller_name: str = CONTROLLER_NAME,
     ):
         self.vnf = vnf
         self.bus = bus
         self.session_configs = dict(session_configs or {})  # session_id -> CodingConfig
         self.on_shutdown = on_shutdown
         self.vnf_start_latency_s = vnf_start_latency_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.controller_name = controller_name
+        self.alive = True
         self.function_running = False
         self.started_at: float | None = None
+        self.killed_at: float | None = None
+        self.restarts = 0
         self.pending_table: ForwardingTable | None = None
         self.applied_tables = 0
         self.total_pause_s = 0.0
+        self.heartbeats_sent = 0
+        self._heartbeat: PeriodicEvent | None = None
         bus.register(vnf.name, self.handle_signal)
+        self._start_heartbeat()
+
+    # -- liveness --------------------------------------------------------
+
+    def _start_heartbeat(self) -> None:
+        if self.heartbeat_interval_s is None:
+            return
+        # First beat after one interval: a daemon that just came up has
+        # nothing to report yet, and the offset keeps beats of daemons
+        # created at the same instant from colliding in the event order.
+        self._heartbeat = self.vnf.scheduler.schedule_every(self.heartbeat_interval_s, self._beat)
+
+    def _beat(self) -> None:
+        if not self.alive:
+            return
+        self.heartbeats_sent += 1
+        self.bus.send(
+            NcHeartbeat(target=self.controller_name, vnf_name=self.vnf.name, beat=self.heartbeats_sent)
+        )
+
+    def kill(self) -> None:
+        """Crash the daemon process (fault injection / VM failure).
+
+        Queued state dies with the process: the pending forwarding table
+        is lost and the bus forgets the registration, so signals headed
+        here hit the retry-then-undeliverable path instead of a void.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.function_running = False
+        self.killed_at = self.vnf.scheduler.now
+        self.pending_table = None
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            self._heartbeat = None
+        self.bus.unregister(self.vnf.name)
+
+    def restart(self) -> None:
+        """Bring a fresh daemon process up on the same node.
+
+        Re-registers and resumes heartbeats; the coding function stays
+        down until the controller re-sends NC_SETTINGS.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        self.bus.register(self.vnf.name, self.handle_signal)
+        self._start_heartbeat()
 
     # -- signal dispatch ------------------------------------------------
 
     def handle_signal(self, signal: Signal) -> None:
+        if not self.alive:
+            return  # a racing delivery to a corpse
         if isinstance(signal, NcSettings):
             self._on_settings(signal)
         elif isinstance(signal, NcForwardTab):
@@ -54,7 +139,7 @@ class VnfDaemon:
             self._on_vnf_end(signal)
         elif isinstance(signal, NcStart):
             pass  # meaningful to source applications; a relay VNF is driven by traffic
-        # NC_VNF_START is consumed by the controller itself.
+        # NC_VNF_START and NC_HEARTBEAT are consumed by the controller.
 
     def _on_settings(self, signal: NcSettings) -> None:
         for session_id, role_name in signal.roles:
@@ -68,6 +153,8 @@ class VnfDaemon:
             self.vnf.scheduler.schedule(self.vnf_start_latency_s, self._function_started)
 
     def _function_started(self) -> None:
+        if not self.alive:
+            return  # killed while the function was starting
         self.function_running = True
         self.started_at = self.vnf.scheduler.now
         if self.pending_table is not None:
@@ -88,6 +175,9 @@ class VnfDaemon:
 
     def _on_vnf_end(self, signal: NcVnfEnd) -> None:
         self.function_running = False
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            self._heartbeat = None
         self.bus.unregister(self.vnf.name)
         if self.on_shutdown is not None:
             self.on_shutdown(self)

@@ -89,6 +89,9 @@ class ScalingEngine:
         self._delay_state: dict[tuple, _ThresholdState] = {}
         self._idle_since: dict[str, float] = {}
         self.events: list[ScalingEvent] = []
+        # VNF failures (heartbeat misses) are a scaling trigger like any
+        # other: the controller runs the recovery, we keep the ledger.
+        controller.on_vnf_failure.append(self._on_vnf_failure)
 
     # -- helpers -----------------------------------------------------------
 
@@ -259,6 +262,11 @@ class ScalingEngine:
         self.controller.push_forwarding_tables()
         self._log("receiver-quit", session=session_id, receiver=receiver, **result)
         return result
+
+    # -- failures (heartbeat-detected, controller-driven recovery) -----------------------
+
+    def _on_vnf_failure(self, vnf_name: str, datacenter: str) -> None:
+        self._log("vnf_failure", vnf=vnf_name, datacenter=datacenter)
 
     # -- idle consolidation (§IV-B Discussions) ------------------------------------------
 

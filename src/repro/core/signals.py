@@ -1,8 +1,8 @@
 """Control-plane signal protocol (paper §III-A).
 
-Five signal types travel from the controller to daemons (one,
+Six signal types; five travel from the controller to daemons (one,
 NC_VNF_START, the controller sends to itself to trigger cloud API
-calls):
+calls) and one, NC_HEARTBEAT, travels the other way:
 
 ========================  ====================================================
 ``NC_START``              begin network-coded transmission for a session
@@ -11,11 +11,21 @@ calls):
 ``NC_FORWARD_TAB``        replace a VNF's forwarding table
 ``NC_SETTINGS``           VNF roles, session ids, UDP ports, generation/block
                           sizes — the initialization bundle
+``NC_HEARTBEAT``          daemon liveness beacon, daemon → controller; the
+                          controller's failure detector counts misses
 ========================  ====================================================
 
 :class:`SignalBus` delivers signals with a configurable control-plane
 latency (controller → daemon RTTs are real in the paper's testbed) and
 keeps a full log for experiments to assert on.
+
+Delivery is no longer fire-and-forget: a signal addressed to a node
+with no registered daemon is retried (``max_retries`` attempts spaced
+``retry_interval_s`` apart — a dead daemon may be restarting) and, if
+every attempt fails, recorded on ``SignalBus.undeliverable`` with
+``status="undeliverable"`` instead of vanishing without trace.  The
+fault injector can interpose on deliveries through ``fault_hook`` to
+drop or delay individual signals deterministically.
 """
 
 from __future__ import annotations
@@ -86,6 +96,21 @@ class NcSettings(Signal):
     shapes: tuple = ()
 
 
+@dataclass(frozen=True)
+class NcHeartbeat(Signal):
+    """Daemon → controller liveness beacon (basis of failure detection)."""
+
+    vnf_name: str = ""
+    beat: int = 0
+
+
+#: SignalRecord.status values.
+PENDING = "pending"
+DELIVERED = "delivered"
+DROPPED = "dropped"            # a fault hook ate the delivery
+UNDELIVERABLE = "undeliverable"  # no handler after every retry
+
+
 @dataclass
 class SignalRecord:
     """One delivered (or pending) signal, for experiment assertions."""
@@ -94,18 +119,42 @@ class SignalRecord:
     sent_at: float
     signal: Signal
     delivered_at: float | None = None
+    status: str = PENDING
+    attempts: int = 0
+
+
+#: A fault hook inspects a record at delivery time and returns ``None``
+#: (deliver normally), the string ``"drop"`` (swallow this delivery), or
+#: a positive float (postpone delivery by that many seconds).
+FaultHook = Callable[[SignalRecord], "str | float | None"]
 
 
 class SignalBus:
     """Delivers control signals to registered daemons with latency."""
 
-    def __init__(self, scheduler: EventScheduler, latency_s: float = 0.05):
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        latency_s: float = 0.05,
+        max_retries: int = 3,
+        retry_interval_s: float = 0.25,
+    ):
         if latency_s < 0:
             raise ValueError("latency cannot be negative")
+        if max_retries < 0:
+            raise ValueError("retry count cannot be negative")
+        if retry_interval_s <= 0:
+            raise ValueError("retry interval must be positive")
         self.scheduler = scheduler
         self.latency_s = latency_s
+        self.max_retries = max_retries
+        self.retry_interval_s = retry_interval_s
         self._handlers: dict[str, Callable[[Signal], None]] = {}
         self.log: list[SignalRecord] = []
+        self.undeliverable: list[SignalRecord] = []
+        self.dropped: list[SignalRecord] = []
+        self.fault_hook: FaultHook | None = None
+        self.on_undeliverable: Callable[[SignalRecord], None] | None = None
 
     def register(self, name: str, handler: Callable[[Signal], None]) -> None:
         """Attach a daemon's signal handler under its node name."""
@@ -116,6 +165,9 @@ class SignalBus:
     def unregister(self, name: str) -> None:
         self._handlers.pop(name, None)
 
+    def is_registered(self, name: str) -> bool:
+        return name in self._handlers
+
     def send(self, signal: Signal) -> SignalRecord:
         """Dispatch a signal; delivery happens after the bus latency."""
         record = SignalRecord(seq=next(_signal_seq), sent_at=self.scheduler.now, signal=signal)
@@ -124,11 +176,39 @@ class SignalBus:
         return record
 
     def _deliver(self, record: SignalRecord) -> None:
+        if self.fault_hook is not None:
+            action = self.fault_hook(record)
+            if action == "drop":
+                record.status = DROPPED
+                self.dropped.append(record)
+                return
+            if isinstance(action, (int, float)) and action > 0:
+                self.scheduler.schedule(float(action), self._deliver, record)
+                return
         handler = self._handlers.get(record.signal.target)
+        if handler is None:
+            # The daemon may be mid-restart: retry before giving up, and
+            # leave a trace either way — a lost control signal that
+            # "succeeded" silently is exactly the bug class the fault
+            # injector exists to expose.
+            record.attempts += 1
+            if record.attempts <= self.max_retries:
+                self.scheduler.schedule(self.retry_interval_s, self._deliver, record)
+                return
+            record.status = UNDELIVERABLE
+            self.undeliverable.append(record)
+            if self.on_undeliverable is not None:
+                self.on_undeliverable(record)
+            return
         record.delivered_at = self.scheduler.now
-        if handler is not None:
-            handler(record.signal)
+        record.status = DELIVERED
+        record.attempts += 1
+        handler(record.signal)
 
     def sent_of_kind(self, kind: str) -> list[SignalRecord]:
         """All log records whose signal class name matches ``kind``."""
         return [r for r in self.log if r.signal.kind == kind]
+
+    def undeliverable_of_kind(self, kind: str) -> list[SignalRecord]:
+        """Undeliverable records of one signal class (regression surface)."""
+        return [r for r in self.undeliverable if r.signal.kind == kind]

@@ -1,0 +1,43 @@
+"""Seeded, schedule-driven fault injection for the simulated system.
+
+The paper's testbed runs on real clouds where VMs crash, WAN links flap
+and control connections stall; the reproduction needs the same weather.
+This package turns failures into *data*: a :class:`FaultPlan` is an
+immutable, sorted schedule of :class:`FaultEvent` entries (built by hand
+or drawn from a seeded RNG), and a :class:`FaultInjector` arms the plan
+against live simulation objects — VMs, links, daemons, the signal bus —
+on the shared event scheduler.  Same plan, same seed, same world: every
+failure and every recovery is bit-reproducible.
+
+Fault vocabulary (:class:`FaultKind`):
+
+==================  ==================================================
+``VM_CRASH``        drop a VirtualMachine to FAILED mid-session
+``LINK_DOWN``       take a Link down; in-flight packets are lost
+``LINK_UP``         bring a downed Link back
+``LINK_DEGRADE``    multiply a Link's loss probability (param = new p)
+``DAEMON_KILL``     crash a VnfDaemon process (queued state dies)
+``DAEMON_RESTART``  bring a killed daemon back up (amnesiac)
+``SIGNAL_DROP``     eat the next matching SignalBus delivery
+``SIGNAL_DELAY``    postpone the next matching delivery by param secs
+``NODE_CRASH``      LINK_DOWN on every incident link + DAEMON_KILL
+==================  ==================================================
+"""
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.injector import (
+    FaultError,
+    FaultInjector,
+    FaultTargetError,
+    RecoveryFailedError,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultError",
+    "FaultTargetError",
+    "RecoveryFailedError",
+]

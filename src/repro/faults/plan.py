@@ -1,0 +1,156 @@
+"""Fault schedules: what breaks, when, and (optionally) how badly.
+
+A :class:`FaultPlan` is data, not behavior — it can be printed, diffed,
+stored next to an experiment's results, and replayed exactly.  The
+:class:`~repro.faults.injector.FaultInjector` is what binds a plan to
+live objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.util.rng import derive_rng
+
+
+class FaultKind(enum.Enum):
+    """The fault vocabulary (see the package docstring for semantics)."""
+
+    VM_CRASH = "vm-crash"
+    LINK_DOWN = "link-down"
+    LINK_UP = "link-up"
+    LINK_DEGRADE = "link-degrade"
+    DAEMON_KILL = "daemon-kill"
+    DAEMON_RESTART = "daemon-restart"
+    SIGNAL_DROP = "signal-drop"
+    SIGNAL_DELAY = "signal-delay"
+    NODE_CRASH = "node-crash"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` is interpreted per kind: a VM id, a ``"src->dst"`` link
+    key, a daemon's node name, a signal kind name (``"NcSettings"``) or
+    a node name for NODE_CRASH.  ``param`` carries the kind-specific
+    knob (delay seconds, loss probability).
+    """
+
+    time_s: float
+    kind: FaultKind
+    target: str
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.time_s}")
+        if not self.target:
+            raise ValueError("fault target cannot be empty")
+        if self.kind is FaultKind.SIGNAL_DELAY:
+            if self.param is None or self.param <= 0:
+                raise ValueError("SIGNAL_DELAY needs a positive delay param")
+        if self.kind is FaultKind.LINK_DEGRADE:
+            if self.param is None or not (0.0 <= self.param <= 1.0):
+                raise ValueError("LINK_DEGRADE needs a loss probability in [0, 1]")
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of :class:`FaultEvent`.
+
+    Sorting is stable: events at the same instant keep their authored
+    order, so a plan is a total order and replays deterministically.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        ordered = sorted(enumerate(events), key=lambda pair: (pair[1].time_s, pair[0]))
+        self.events: tuple[FaultEvent, ...] = tuple(event for _, event in ordered)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.events)} events)"
+
+    def of_kind(self, kind: FaultKind) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def describe(self) -> str:
+        """Human-readable schedule, one fault per line."""
+        lines = []
+        for event in self.events:
+            line = f"t={event.time_s:9.4f}s  {event.kind.value:<14}  {event.target}"
+            if event.param is not None:
+                line += f"  param={event.param}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration_s: float,
+        vms: Sequence[str] = (),
+        links: Sequence[str] = (),
+        daemons: Sequence[str] = (),
+        signal_kinds: Sequence[str] = (),
+        max_faults: int = 4,
+        max_outage_s: float = 0.5,
+    ) -> "FaultPlan":
+        """Draw a seeded random plan over the given target pools.
+
+        Disruptive-but-survivable by construction: every LINK_DOWN is
+        paired with a later LINK_UP and every DAEMON_KILL with a later
+        DAEMON_RESTART, so a random plan never leaves the topology
+        permanently partitioned.  Same seed, same pools → same plan.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if max_faults < 1:
+            raise ValueError("max_faults must be at least 1")
+        rng = derive_rng("faults.plan", seed)
+        menu: list[FaultKind] = []
+        if vms:
+            menu.append(FaultKind.VM_CRASH)
+        if links:
+            menu += [FaultKind.LINK_DOWN, FaultKind.LINK_DEGRADE]
+        if daemons:
+            menu.append(FaultKind.DAEMON_KILL)
+        if signal_kinds:
+            menu += [FaultKind.SIGNAL_DROP, FaultKind.SIGNAL_DELAY]
+        if not menu:
+            raise ValueError("no target pools given; nothing to break")
+        events: list[FaultEvent] = []
+        count = int(rng.integers(1, max_faults + 1))
+        for _ in range(count):
+            kind = menu[int(rng.integers(0, len(menu)))]
+            at = float(rng.uniform(0.0, duration_s))
+            if kind is FaultKind.VM_CRASH:
+                events.append(FaultEvent(at, kind, vms[int(rng.integers(0, len(vms)))]))
+            elif kind is FaultKind.LINK_DOWN:
+                link = links[int(rng.integers(0, len(links)))]
+                outage = float(rng.uniform(0.05, max_outage_s))
+                events.append(FaultEvent(at, kind, link))
+                events.append(FaultEvent(at + outage, FaultKind.LINK_UP, link))
+            elif kind is FaultKind.LINK_DEGRADE:
+                link = links[int(rng.integers(0, len(links)))]
+                loss = float(rng.uniform(0.05, 0.3))
+                events.append(FaultEvent(at, kind, link, param=loss))
+            elif kind is FaultKind.DAEMON_KILL:
+                daemon = daemons[int(rng.integers(0, len(daemons)))]
+                outage = float(rng.uniform(0.05, max_outage_s))
+                events.append(FaultEvent(at, kind, daemon))
+                events.append(FaultEvent(at + outage, FaultKind.DAEMON_RESTART, daemon))
+            elif kind is FaultKind.SIGNAL_DROP:
+                sk = signal_kinds[int(rng.integers(0, len(signal_kinds)))]
+                events.append(FaultEvent(at, kind, sk))
+            elif kind is FaultKind.SIGNAL_DELAY:
+                sk = signal_kinds[int(rng.integers(0, len(signal_kinds)))]
+                delay = float(rng.uniform(0.05, max_outage_s))
+                events.append(FaultEvent(at, kind, sk, param=delay))
+        return cls(events)

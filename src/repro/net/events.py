@@ -37,6 +37,46 @@ class Event:
         return f"Event(t={self.time:.6f}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
 
 
+class PeriodicEvent:
+    """Handle for a repeating callback; ``cancel()`` stops the cycle.
+
+    The callback may call ``cancel()`` on its own handle (a heartbeat
+    loop stopping itself when its daemon dies); the next tick is only
+    scheduled after the callback returns un-cancelled.
+    """
+
+    __slots__ = ("scheduler", "interval", "fn", "args", "cancelled", "_event", "fired")
+
+    def __init__(
+        self, scheduler: "EventScheduler", interval: float, fn: Callable[..., Any], args: tuple[Any, ...]
+    ) -> None:
+        self.scheduler = scheduler
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = 0
+        self._event: Event | None = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self.cancelled:
+            return
+        self.fired += 1
+        self.fn(*self.args)
+        if not self.cancelled:
+            self._event = self.scheduler.schedule(self.interval, self._tick)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "running"
+        return f"PeriodicEvent(every={self.interval:.6f}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
+
+
 class EventScheduler:
     """Priority-queue event loop with a simulated clock."""
 
@@ -57,6 +97,21 @@ class EventScheduler:
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
         return self.schedule(time - self.now, fn, *args)
+
+    def schedule_every(
+        self, interval: float, fn: Callable[..., Any], *args: Any, first_delay: float | None = None
+    ) -> PeriodicEvent:
+        """Run ``fn(*args)`` every ``interval`` seconds until cancelled.
+
+        The first firing happens after ``first_delay`` (default: one full
+        interval).  Used by heartbeat emitters and liveness monitors.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        periodic = PeriodicEvent(self, interval, fn, args)
+        delay = interval if first_delay is None else first_delay
+        periodic._event = self.schedule(delay, periodic._tick)
+        return periodic
 
     @property
     def pending(self) -> int:

@@ -10,6 +10,13 @@ Capacity and delay can be changed mid-run (``set_capacity`` /
 ``set_delay``) — that is how experiments emulate the paper's netem
 bandwidth cuts (Fig. 11) and delay shifts (Alg. 2 triggers).
 Per-packet counters feed the measurement layer.
+
+Links can also fail outright: ``down()`` takes the link out of service
+and deterministically drops every in-flight packet (serializing or
+propagating), ``up()`` restores it.  Packets sent across a down/up
+cycle never survive — each ``down()`` advances an epoch counter and a
+packet is delivered only if the link's epoch is unchanged since it was
+sent, which is what keeps fault-injection runs bit-reproducible.
 """
 
 from __future__ import annotations
@@ -29,7 +36,15 @@ DeliverFn = Callable[[Datagram], None]
 class LinkStats:
     """Cumulative per-link counters."""
 
-    __slots__ = ("sent_packets", "sent_bytes", "delivered_packets", "delivered_bytes", "dropped_loss", "dropped_queue")
+    __slots__ = (
+        "sent_packets",
+        "sent_bytes",
+        "delivered_packets",
+        "delivered_bytes",
+        "dropped_loss",
+        "dropped_queue",
+        "dropped_down",
+    )
 
     def __init__(self) -> None:
         self.sent_packets = 0
@@ -38,6 +53,7 @@ class LinkStats:
         self.delivered_bytes = 0
         self.dropped_loss = 0
         self.dropped_queue = 0
+        self.dropped_down = 0
 
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -75,6 +91,10 @@ class Link:
         self._rng = rng if rng is not None else derive_rng("net.link", src, dst)
         self._deliver: DeliverFn | None = None
         self._backlog_bytes = 0
+        self.is_up = True
+        # Incremented on every down(); packets remember the epoch they
+        # were sent in and are dropped if it changed before delivery.
+        self._epoch = 0
         # Time at which the transmitter becomes free; packets serialize
         # one after another without modelling each queue slot separately.
         self._tx_free_at = 0.0
@@ -102,6 +122,27 @@ class Link:
     def set_loss(self, loss: LossModel) -> None:
         self.loss = loss
 
+    def down(self) -> None:
+        """Fail the link: refuse new packets, drop everything in flight.
+
+        The drop is deterministic: in-flight packets are tagged with the
+        epoch they were sent in, and delivery checks the epoch — no RNG
+        draw is consumed, so a fault-injection run stays bit-identical
+        for a fixed seed.  Backlog counters drain as the stale
+        transmission events fire.
+        """
+        if not self.is_up:
+            return
+        self.is_up = False
+        self._epoch += 1
+        # The transmitter is gone with the link; whatever was serializing
+        # no longer occupies it when the link comes back.
+        self._tx_free_at = self.scheduler.now
+
+    def up(self) -> None:
+        """Restore a failed link (packets lost meanwhile stay lost)."""
+        self.is_up = True
+
     # -- data path --------------------------------------------------------
 
     @property
@@ -114,6 +155,9 @@ class Link:
             raise RuntimeError(f"link {self.src}->{self.dst} has no receiver connected")
         self.stats.sent_packets += 1
         self.stats.sent_bytes += dgram.wire_bytes
+        if not self.is_up:
+            self.stats.dropped_down += 1
+            return False
         if self._backlog_bytes + dgram.wire_bytes > self.queue_bytes:
             self.stats.dropped_queue += 1
             return False
@@ -123,11 +167,14 @@ class Link:
         finish = start + tx_time
         self._tx_free_at = finish
         self._backlog_bytes += dgram.wire_bytes
-        self.scheduler.schedule_at(finish, self._transmitted, dgram)
+        self.scheduler.schedule_at(finish, self._transmitted, dgram, self._epoch)
         return True
 
-    def _transmitted(self, dgram: Datagram) -> None:
+    def _transmitted(self, dgram: Datagram, epoch: int) -> None:
         self._backlog_bytes -= dgram.wire_bytes
+        if epoch != self._epoch:
+            self.stats.dropped_down += 1
+            return
         if self.loss.drop(self._rng):
             self.stats.dropped_loss += 1
             return
@@ -136,9 +183,12 @@ class Link:
             # Uniform one-sided jitter; reordering across packets is the
             # point (the Fig. 5 buffer study depends on it).
             delay += float(self._rng.uniform(0.0, self.jitter_s))
-        self.scheduler.schedule(delay, self._arrive, dgram)
+        self.scheduler.schedule(delay, self._arrive, dgram, epoch)
 
-    def _arrive(self, dgram: Datagram) -> None:
+    def _arrive(self, dgram: Datagram, epoch: int) -> None:
+        if epoch != self._epoch:
+            self.stats.dropped_down += 1
+            return
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += dgram.wire_bytes
         assert self._deliver is not None  # send() refuses unconnected links

@@ -109,7 +109,82 @@ class TestClean:
         assert analyze_paths([core], select=["RL004"]).active == []
 
 
+class TestGeneralizedDiscovery:
+    """The protocol is discovered structurally, not by filename, so
+    extension packages get the same exhaustiveness checking."""
+
+    def test_extension_module_signal_declarations_are_checked(self, tmp_path):
+        _write_tree(tmp_path)
+        faults = tmp_path / "repro" / "faults"
+        faults.mkdir()
+        (faults / "signals.py").write_text(textwrap.dedent("""
+            from repro.core.signals import Signal
+
+            class NcGamma(Signal):
+                pass
+        """))
+        result = analyze_paths([tmp_path / "repro"], select=["RL004"])
+        gamma = [f for f in result.active if "NcGamma" in f.message]
+        assert gamma, "an unhandled extension signal must be flagged"
+        assert gamma[0].path.endswith("faults/signals.py")
+
+    def test_signal_annotated_handler_counts_as_dispatcher(self, tmp_path):
+        core = _write_tree(tmp_path, daemon=None, controller=None)
+        (core / "faults.py").write_text(textwrap.dedent("""
+            from signals import NcAlpha, NcBeta, NcOrphan, Signal
+
+            def on_delivery(signal: Signal):
+                if isinstance(signal, (NcAlpha, NcBeta, NcOrphan)):
+                    return signal
+        """))
+        assert analyze_paths([core], select=["RL004"]).active == []
+
+    def test_imported_names_are_never_unknown_signals(self, tmp_path):
+        # A stale imported name fails at import time on its own; the
+        # rule only hunts names that are built without an import.
+        core = _write_tree(
+            tmp_path,
+            daemon="""
+                def handle_signal(signal):
+                    if isinstance(signal, (NcAlpha, NcBeta, NcOrphan)):
+                        return signal
+            """,
+            controller="""
+                from vendor import NcLegacyKnob
+
+                def plan():
+                    return [NcBeta(target="V1"), NcLegacyKnob()]
+            """,
+        )
+        assert analyze_paths([core], select=["RL004"]).active == []
+
+    def test_nc_named_non_signal_classes_are_not_unknown(self, tmp_path):
+        core = _write_tree(
+            tmp_path,
+            daemon="""
+                class NcSourceApp:
+                    pass
+
+                def handle_signal(signal):
+                    if isinstance(signal, (NcAlpha, NcBeta, NcOrphan)):
+                        return signal
+            """,
+            controller="""
+                def plan():
+                    return [NcBeta(target="V1"), NcSourceApp()]
+            """,
+        )
+        assert analyze_paths([core], select=["RL004"]).active == []
+
+
 class TestRealTree:
     def test_repo_protocol_is_closed(self):
         result = analyze_paths(["src/repro/core"], select=["RL004"])
+        assert result.active == []
+
+    def test_full_src_tree_is_closed(self):
+        # Includes repro.faults and the experiments' Signal-annotated
+        # handlers, which the generalized discovery must cover without
+        # fabricating findings.
+        result = analyze_paths(["src/repro"], select=["RL004"])
         assert result.active == []

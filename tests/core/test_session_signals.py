@@ -88,11 +88,28 @@ class TestSignalBus:
         assert len(got) == 1
         assert got[0].session_id == 3
 
-    def test_unknown_target_is_dropped(self, scheduler):
+    def test_unknown_target_is_recorded_undeliverable(self, scheduler):
+        # A signal to a node with no daemon used to "succeed" silently;
+        # it must now be retried and then land on the undeliverable log.
         bus = SignalBus(scheduler)
         record = bus.send(NcStart(target="ghost"))
         scheduler.run()
-        assert record.delivered_at is not None  # logged, nobody listening
+        assert record.delivered_at is None
+        assert record.status == "undeliverable"
+        assert record.attempts == bus.max_retries + 1
+        assert bus.undeliverable == [record]
+
+    def test_retry_reaches_late_registration(self, scheduler):
+        # A daemon that comes back mid-retry still gets the signal.
+        bus = SignalBus(scheduler, latency_s=0.05, retry_interval_s=0.2)
+        record = bus.send(NcStart(target="late", session_id=9))
+        got = []
+        scheduler.run(until=0.1)  # first attempt already failed
+        bus.register("late", got.append)
+        scheduler.run()
+        assert [s.session_id for s in got] == [9]
+        assert record.status == "delivered"
+        assert bus.undeliverable == []
 
     def test_log_and_kind_filter(self, scheduler):
         bus = SignalBus(scheduler)

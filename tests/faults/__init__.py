@@ -1,0 +1,1 @@
+"""Fault-injection suite: plans, the injector, and the failure matrix."""

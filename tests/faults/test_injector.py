@@ -1,0 +1,272 @@
+"""Unit tests for :mod:`repro.faults`: plans, validation, firing."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.flavor import InstanceFlavor
+from repro.cloud.vm import VirtualMachine, VmState
+from repro.core.daemon import VnfDaemon
+from repro.core.signals import NcStart, SignalBus
+from repro.core.vnf import CodingVnf
+from repro.faults import (
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultTargetError,
+)
+from repro.faults.injector import link_key
+from repro.net.link import Link
+from repro.net.loss import NoLoss, UniformLoss
+from repro.net.packet import Datagram
+
+FLAVOR = InstanceFlavor("test.small", 2, 4.0, 1000.0, 1000.0, 900.0, 0.10)
+
+
+def _link(scheduler, src="a", dst="b", delay_s=0.05):
+    link = Link(scheduler, src, dst, capacity_bps=100e6, delay_s=delay_s,
+                rng=np.random.default_rng(0))
+    delivered = []
+    link.connect(lambda dgram: delivered.append(dgram))
+    return link, delivered
+
+
+def _daemon(scheduler, name="relay", bus=None):
+    bus = bus if bus is not None else SignalBus(scheduler, latency_s=0.02)
+    vnf = CodingVnf(name, scheduler, rng=np.random.default_rng(0))
+    return VnfDaemon(vnf, bus, heartbeat_interval_s=None), bus
+
+
+class TestFaultEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(-0.1, FaultKind.LINK_DOWN, "a->b")
+
+    def test_rejects_empty_target(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent(1.0, FaultKind.VM_CRASH, "")
+
+    def test_signal_delay_needs_positive_param(self):
+        with pytest.raises(ValueError, match="positive delay"):
+            FaultEvent(1.0, FaultKind.SIGNAL_DELAY, "NcSettings")
+        with pytest.raises(ValueError, match="positive delay"):
+            FaultEvent(1.0, FaultKind.SIGNAL_DELAY, "NcSettings", param=0.0)
+
+    def test_link_degrade_needs_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultEvent(1.0, FaultKind.LINK_DEGRADE, "a->b")
+        with pytest.raises(ValueError, match="probability"):
+            FaultEvent(1.0, FaultKind.LINK_DEGRADE, "a->b", param=1.5)
+
+    def test_events_are_immutable(self):
+        event = FaultEvent(1.0, FaultKind.VM_CRASH, "vm-1")
+        with pytest.raises(AttributeError):
+            event.time_s = 2.0
+
+
+class TestFaultPlan:
+    def test_sorts_by_time_stably(self):
+        a = FaultEvent(2.0, FaultKind.LINK_DOWN, "x->y")
+        b = FaultEvent(1.0, FaultKind.VM_CRASH, "vm-1")
+        c = FaultEvent(2.0, FaultKind.LINK_UP, "x->y")
+        plan = FaultPlan([a, b, c])
+        assert plan.events == (b, a, c)  # ties keep authored order
+
+    def test_of_kind_and_len(self):
+        plan = FaultPlan([
+            FaultEvent(1.0, FaultKind.LINK_DOWN, "x->y"),
+            FaultEvent(1.5, FaultKind.LINK_UP, "x->y"),
+        ])
+        assert len(plan) == 2
+        assert [e.kind for e in plan.of_kind(FaultKind.LINK_UP)] == [FaultKind.LINK_UP]
+
+    def test_describe_lists_every_fault(self):
+        plan = FaultPlan([FaultEvent(0.5, FaultKind.LINK_DEGRADE, "x->y", param=0.1)])
+        text = plan.describe()
+        assert "link-degrade" in text and "x->y" in text and "param=0.1" in text
+
+    def test_random_is_deterministic_per_seed(self):
+        kwargs = dict(duration_s=5.0, links=["a->b", "b->c"], daemons=["a", "b"])
+        assert FaultPlan.random(3, **kwargs).events == FaultPlan.random(3, **kwargs).events
+        assert FaultPlan.random(3, **kwargs).events != FaultPlan.random(4, **kwargs).events
+
+    def test_random_pairs_outages_with_recovery(self):
+        for seed in range(20):
+            plan = FaultPlan.random(seed, duration_s=5.0,
+                                    links=["a->b"], daemons=["a"], max_faults=6)
+            downs = plan.of_kind(FaultKind.LINK_DOWN)
+            ups = plan.of_kind(FaultKind.LINK_UP)
+            assert len(downs) == len(ups)
+            kills = plan.of_kind(FaultKind.DAEMON_KILL)
+            restarts = plan.of_kind(FaultKind.DAEMON_RESTART)
+            assert len(kills) == len(restarts)
+            for kill in kills:
+                assert any(r.target == kill.target and r.time_s > kill.time_s
+                           for r in restarts)
+
+    def test_random_rejects_empty_pools(self):
+        with pytest.raises(ValueError, match="nothing to break"):
+            FaultPlan.random(1, duration_s=5.0)
+
+    def test_random_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultPlan.random(1, duration_s=0.0, links=["a->b"])
+        with pytest.raises(ValueError, match="max_faults"):
+            FaultPlan.random(1, duration_s=1.0, links=["a->b"], max_faults=0)
+
+
+class TestArmTimeValidation:
+    """A typo'd plan fails loudly at arm(), not silently at fire time."""
+
+    def test_unknown_vm(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.VM_CRASH, "vm-404")]))
+        with pytest.raises(FaultTargetError, match="no VM registered"):
+            injector.arm()
+
+    def test_unknown_link(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.LINK_DOWN, "a->z")]))
+        with pytest.raises(FaultTargetError, match="no link registered"):
+            injector.arm()
+
+    def test_unknown_daemon(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.DAEMON_KILL, "ghost")]))
+        with pytest.raises(FaultTargetError, match="no daemon registered"):
+            injector.arm()
+
+    def test_signal_fault_needs_bus(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.SIGNAL_DROP, "NcSettings")]))
+        with pytest.raises(FaultTargetError, match="no bus attached"):
+            injector.arm()
+
+    def test_unknown_node(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.NODE_CRASH, "atlantis")]))
+        with pytest.raises(FaultTargetError, match="no registered links or daemon"):
+            injector.arm()
+
+    def test_validation_schedules_nothing(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.VM_CRASH, "vm-404")]))
+        with pytest.raises(FaultTargetError):
+            injector.arm()
+        assert scheduler.pending == 0
+
+    def test_double_arm_is_an_error(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan())
+        injector.arm()
+        with pytest.raises(FaultError, match="already armed"):
+            injector.arm()
+
+    def test_set_bus_refuses_to_clobber_foreign_hook(self, scheduler):
+        bus = SignalBus(scheduler)
+        bus.fault_hook = lambda record: None
+        injector = FaultInjector(scheduler, FaultPlan())
+        with pytest.raises(FaultError, match="already has a fault hook"):
+            injector.set_bus(bus)
+
+
+class TestFiring:
+    def test_vm_crash(self, scheduler):
+        vm = VirtualMachine(scheduler, "oregon", FLAVOR, launch_latency_s=0.1)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.VM_CRASH, vm.vm_id)]))
+        injector.add_vm(vm.vm_id, vm)
+        injector.arm()
+        scheduler.run(until=2.0)
+        assert vm.state is VmState.FAILED
+        assert vm.failed_at == pytest.approx(1.0)
+        assert injector.applied == [(1.0, injector.plan.events[0])]
+
+    def test_link_flap_drops_in_flight_then_restores(self, scheduler):
+        link, delivered = _link(scheduler, delay_s=0.05)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(0.01, FaultKind.LINK_DOWN, link_key("a", "b")),
+            FaultEvent(0.30, FaultKind.LINK_UP, link_key("a", "b")),
+        ]))
+        injector.add_link("a", "b", link)
+        injector.arm()
+        # In flight when the link goes down at t=0.01: dropped, not delivered.
+        link.send(Datagram("a", "b", None, 1200))
+        # Sent while down: refused at the head of the queue.
+        scheduler.schedule_at(0.1, link.send, Datagram("a", "b", None, 1200))
+        # Sent after recovery: delivered normally.
+        scheduler.schedule_at(0.5, link.send, Datagram("a", "b", None, 1200))
+        scheduler.run(until=1.0)
+        assert link.is_up
+        assert link.stats.dropped_down == 2
+        assert len(delivered) == 1
+
+    def test_link_degrade_swaps_loss_model(self, scheduler):
+        link, _ = _link(scheduler)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.LINK_DEGRADE, link_key("a", "b"), param=0.25)]))
+        injector.add_link("a", "b", link)
+        injector.arm()
+        assert isinstance(link.loss, NoLoss)
+        scheduler.run(until=2.0)
+        assert isinstance(link.loss, UniformLoss)
+        assert link.loss.rate == pytest.approx(0.25)
+
+    def test_daemon_kill_and_restart(self, scheduler):
+        daemon, bus = _daemon(scheduler)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.DAEMON_KILL, "relay"),
+            FaultEvent(1.5, FaultKind.DAEMON_RESTART, "relay"),
+        ]))
+        injector.add_daemon("relay", daemon)
+        injector.arm()
+        scheduler.run(until=1.2)
+        assert not daemon.alive
+        assert not bus.is_registered("relay")
+        scheduler.run(until=2.0)
+        assert daemon.alive
+        assert daemon.restarts == 1
+        assert bus.is_registered("relay")
+
+    def test_node_crash_composes_links_and_daemon(self, scheduler):
+        inbound, _ = _link(scheduler, "x", "n")
+        outbound, _ = _link(scheduler, "n", "y")
+        daemon, bus = _daemon(scheduler, name="n")
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.NODE_CRASH, "n")]))
+        injector.add_link("x", "n", inbound)
+        injector.add_link("n", "y", outbound)
+        injector.add_daemon("n", daemon)
+        injector.arm()
+        scheduler.run(until=2.0)
+        assert not inbound.is_up and not outbound.is_up
+        assert not daemon.alive
+        assert not bus.is_registered("n")
+
+    def test_signal_drop_rule_is_one_shot(self, scheduler):
+        bus = SignalBus(scheduler, latency_s=0.02)
+        received = []
+        bus.register("sink", received.append)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(0.01, FaultKind.SIGNAL_DROP, "NcStart")]))
+        injector.set_bus(bus)
+        injector.arm()
+        scheduler.schedule_at(0.05, bus.send, NcStart(target="sink", session_id=1))
+        scheduler.schedule_at(0.50, bus.send, NcStart(target="sink", session_id=2))
+        scheduler.run(until=1.0)
+        assert [s.session_id for s in received] == [2]
+        assert len(bus.dropped) == 1
+        assert bus.dropped[0].status == "dropped"
+
+    def test_signal_delay_postpones_delivery(self, scheduler):
+        bus = SignalBus(scheduler, latency_s=0.02)
+        received_at = []
+        bus.register("sink", lambda s: received_at.append(scheduler.now))
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(0.01, FaultKind.SIGNAL_DELAY, "NcStart", param=0.5)]))
+        injector.set_bus(bus)
+        injector.arm()
+        scheduler.schedule_at(0.05, bus.send, NcStart(target="sink"))
+        scheduler.run(until=1.0)
+        # 0.05 send + 0.02 bus latency + 0.5 injected delay.
+        assert received_at == [pytest.approx(0.57)]

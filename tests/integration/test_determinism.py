@@ -55,6 +55,31 @@ class TestButterflyDeterminism:
         assert not same
 
 
+class TestFailoverDeterminism:
+    """The seed contract holds on the failure path too (see also
+    ``tests/faults/test_fault_properties.py`` for random fault plans)."""
+
+    def test_same_seed_identical_recovery(self):
+        from repro.experiments.failures import run_butterfly_failover
+
+        first = run_butterfly_failover(duration_s=2.0)
+        second = run_butterfly_failover(duration_s=2.0)
+        assert first.detected_at == second.detected_at
+        assert first.recovery_latency_s == second.recovery_latency_s
+        assert first.decoded_after == second.decoded_after
+        assert first.decode_stall_s == second.decode_stall_s
+
+    def test_different_seed_diverges_after_recovery(self):
+        from repro.experiments.failures import run_butterfly_failover
+
+        base = run_butterfly_failover(duration_s=2.0, seed=7)
+        other = run_butterfly_failover(duration_s=2.0, seed=8)
+        # Detection is clocked by heartbeats, so it matches; the coded
+        # payloads do not, so the decode trace must differ.
+        assert base.detected_at == other.detected_at
+        assert base.decode_stall_s != other.decode_stall_s
+
+
 class TestDeriveRng:
     def test_same_key_same_stream(self):
         a = derive_rng("net.link", "V1", "T")
