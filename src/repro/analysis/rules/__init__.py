@@ -5,6 +5,7 @@ from repro.analysis.rules.rl002_gf_native_arith import GfNativeArithRule
 from repro.analysis.rules.rl003_des_discipline import DesDisciplineRule
 from repro.analysis.rules.rl004_signal_exhaustiveness import SignalExhaustivenessRule
 from repro.analysis.rules.rl005_mutable_defaults import MutableDefaultArgsRule
+from repro.analysis.rules.rl006_handler_purity import HandlerPurityRule
 
 __all__ = [
     "UnseededRngRule",
@@ -12,4 +13,5 @@ __all__ = [
     "DesDisciplineRule",
     "SignalExhaustivenessRule",
     "MutableDefaultArgsRule",
+    "HandlerPurityRule",
 ]

@@ -8,8 +8,10 @@
 """
 
 from repro.apps.file_transfer import (
+    ControlRelay,
     NcReceiverApp,
     NcSourceApp,
+    RepairingControlRelay,
     StripedReceiverAdapter,
     StripedSourceApp,
     TreeForwarder,
@@ -23,6 +25,8 @@ __all__ = [
     "StripedSourceApp",
     "StripedReceiverAdapter",
     "TreeForwarder",
+    "ControlRelay",
+    "RepairingControlRelay",
     "install_control_relay",
     "StreamingSource",
     "StreamingReceiver",

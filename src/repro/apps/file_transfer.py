@@ -395,9 +395,13 @@ class NcReceiverApp:
         stall_generations: int = 128,
         stall_timeout_s: float = 0.25,
         nack_retry_s: float = 0.4,
+        nack_backoff: float = 2.0,
+        nack_retry_max_s: float = 3.2,
         max_nacks_per_generation: int = 8,
         ack_immediately: bool = False,
     ):
+        if nack_backoff < 1.0:
+            raise ValueError("nack_backoff must be >= 1 (retry intervals cannot shrink)")
         self.node = node
         self.session = session
         self.payload_mode = payload_mode
@@ -407,6 +411,8 @@ class NcReceiverApp:
         self.stall_generations = stall_generations
         self.stall_timeout_s = stall_timeout_s
         self.nack_retry_s = nack_retry_s
+        self.nack_backoff = nack_backoff
+        self.nack_retry_max_s = nack_retry_max_s
         self.max_nacks_per_generation = max_nacks_per_generation
         config = session.coding
         self._block_bytes = 4 if payload_mode == "coefficients-only" else config.block_bytes
@@ -506,6 +512,22 @@ class NcReceiverApp:
             )
         return sorted(set(stalled))
 
+    def nack_retry_interval_s(self, retries_sent: int) -> float:
+        """Wait before the NACK after ``retries_sent`` earlier ones.
+
+        Exponential backoff, capped: repeated losses of the same repair
+        (a loss burst, a link flap mid-recovery, a repair still in
+        flight) progressively widen the retry spacing instead of
+        flooding the reverse path, and ``max_nacks_per_generation``
+        bounds the total so a truly unservable generation ends as a
+        typed giveup rather than a NACK loop.
+        """
+        return min(self.nack_retry_s * self.nack_backoff ** max(0, retries_sent - 1), self.nack_retry_max_s)
+
+    def nack_backoff_schedule(self) -> list:
+        """The full retry-wait schedule, one entry per permitted NACK."""
+        return [self.nack_retry_interval_s(i) for i in range(1, self.max_nacks_per_generation + 1)]
+
     def _send_nacks(self) -> None:
         now = self.node.scheduler.now
         k = self.session.coding.blocks_per_generation
@@ -513,7 +535,7 @@ class NcReceiverApp:
             count, last = self._nack_state.get(gen_id, (0, -1e9))
             if count >= self.max_nacks_per_generation:
                 continue
-            if now - last < self.nack_retry_s:
+            if now - last < self.nack_retry_interval_s(count):
                 continue
             decoder = self._decoders.get(gen_id)
             if decoder is not None:
@@ -533,6 +555,19 @@ class NcReceiverApp:
 
     def stop_acks(self) -> None:
         self._ack_timer_running = False
+
+    def retarget_acks(self, next_hop: str | None) -> None:
+        """Point the feedback channel at a new first hop.
+
+        Recovery support: when the node that used to carry this
+        receiver's ACK/NACK traffic dies, the control plane re-routes
+        the reverse path and re-targets the receiver here.  Passing
+        ``None`` silences control traffic (the timer keeps ticking so a
+        later retarget resumes it).
+        """
+        self.ack_to = next_hop
+        if next_hop is not None:
+            self._start_ack_timer()
 
     # -- metrics ---------------------------------------------------------------
 
@@ -559,13 +594,69 @@ class NcReceiverApp:
         return centers, rates
 
 
-def install_control_relay(node: Node, next_hop: str) -> None:
+class ControlRelay:
+    """Bounce ACK/NACK control messages one hop toward the source.
+
+    Re-targetable: after a failure the recovery plan may route this
+    node's control traffic through a different upstream neighbour;
+    :meth:`retarget` swaps the next hop without re-binding the port.
+    """
+
+    def __init__(self, node: Node, next_hop: str):
+        self.node = node
+        self.next_hop = next_hop
+        node.listen(ACK_PORT, self._on_control)
+
+    def retarget(self, next_hop: str) -> None:
+        self.next_hop = next_hop
+
+    def uninstall(self) -> None:
+        self.node.unlisten(ACK_PORT)
+
+    def _on_control(self, dgram: Datagram) -> None:
+        self.node.send(self.next_hop, dgram.payload, dgram.payload_bytes, dst_port=ACK_PORT)
+
+
+class RepairingControlRelay(ControlRelay):
+    """A control relay on a recoding VNF that answers NACKs locally.
+
+    The relay still forwards every control message upstream — the
+    source remains the repairer of last resort, so correctness never
+    depends on relay state.  But a recoding VNF already buffers coded
+    packets for recent generations, so when a NACK passes through it
+    *also* emits fresh recodes downstream immediately, cutting the
+    repair latency from a full source round-trip to one hop.  Local
+    service is capped per generation; once the cap is hit the relay
+    degrades to pure forwarding and the source repair takes over.
+    """
+
+    def __init__(self, node: Node, next_hop: str, vnf, max_served_nacks_per_generation: int = 2):
+        super().__init__(node, next_hop)
+        self.vnf = vnf
+        self.max_served_nacks_per_generation = max_served_nacks_per_generation
+        self.nacks_seen = 0
+        self.local_repair_packets = 0
+        self._served: dict[tuple, int] = {}  # (session, generation) -> NACKs served locally
+
+    def _on_control(self, dgram: Datagram) -> None:
+        super()._on_control(dgram)
+        message = dgram.payload
+        if not (isinstance(message, tuple) and message and message[0] == "nack"):
+            return
+        _, session_id, generation_id, missing_dof, _ = message
+        self.nacks_seen += 1
+        key = (session_id, generation_id)
+        if self._served.get(key, 0) >= self.max_served_nacks_per_generation:
+            return
+        sent = self.vnf.emit_repair(session_id, generation_id, max(1, missing_dof))
+        if sent:
+            self._served[key] = self._served.get(key, 0) + 1
+            self.local_repair_packets += sent
+
+
+def install_control_relay(node: Node, next_hop: str) -> ControlRelay:
     """Bounce ACK/NACK control messages one hop toward the source."""
-
-    def _relay(dgram: Datagram) -> None:
-        node.send(next_hop, dgram.payload, dgram.payload_bytes, dst_port=ACK_PORT)
-
-    node.listen(ACK_PORT, _relay)
+    return ControlRelay(node, next_hop)
 
 
 class StripedSourceApp:

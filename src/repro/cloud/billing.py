@@ -28,7 +28,7 @@ class BillingMeter:
         self.samples.append((now, total))
         return total
 
-    def cost_by_datacenter(self, now: float) -> dict:
+    def cost_by_datacenter(self, now: float) -> dict[str, float]:
         """Cumulative cost split per data center."""
         out: dict[str, float] = defaultdict(float)
         for provider in self.providers:

@@ -31,7 +31,7 @@ class DataCenter:
     outbound_mbps: float | None = None
     trace: BandwidthTrace | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.inbound_mbps is None:
             self.inbound_mbps = self.flavor.inbound_mbps
         if self.outbound_mbps is None:
@@ -47,6 +47,7 @@ class DataCenter:
 
     def bandwidth_caps(self) -> tuple[float, float]:
         """Current (B_in, B_out) per-VM caps in Mbps."""
+        assert self.inbound_mbps is not None and self.outbound_mbps is not None  # set in __post_init__
         return self.inbound_mbps, self.outbound_mbps
 
     def set_bandwidth_caps(self, inbound_mbps: float | None = None, outbound_mbps: float | None = None) -> None:
@@ -87,7 +88,8 @@ class DataCenter:
         return [vm for vm in self.vms if vm.state is VmState.STOPPING]
 
     def __repr__(self) -> str:
+        inbound, outbound = self.bandwidth_caps()
         return (
-            f"DataCenter({self.name}, in={self.inbound_mbps:.0f} Mbps, "
-            f"out={self.outbound_mbps:.0f} Mbps, vms={len(self.usable_vms())})"
+            f"DataCenter({self.name}, in={inbound:.0f} Mbps, "
+            f"out={outbound:.0f} Mbps, vms={len(self.usable_vms())})"
         )

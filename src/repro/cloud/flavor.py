@@ -32,7 +32,7 @@ class InstanceFlavor:
     hourly_cost_usd: float
     nic: NicModel = field(default_factory=PollModeNic)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.vcpus <= 0 or self.ram_gb <= 0:
             raise ValueError("flavour must have positive CPU and RAM")
         if min(self.inbound_mbps, self.outbound_mbps, self.coding_capacity_mbps) <= 0:

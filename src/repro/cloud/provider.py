@@ -10,6 +10,7 @@ distributions (EC2's mean of ~35 s comes from §V-C5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -61,7 +62,13 @@ class CloudProvider:
 
     # -- API verbs -----------------------------------------------------
 
-    def launch_vm(self, datacenter: str, grace_tau_s: float = 600.0, on_running=None, on_terminated=None) -> VirtualMachine:
+    def launch_vm(
+        self,
+        datacenter: str,
+        grace_tau_s: float = 600.0,
+        on_running: Callable[[VirtualMachine], None] | None = None,
+        on_terminated: Callable[[VirtualMachine], None] | None = None,
+    ) -> VirtualMachine:
         """Start a VM in ``datacenter``; returns the PENDING handle."""
         self.api_calls += 1
         dc = self.datacenters.get(datacenter)

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 # Tab. I verbatim: samples at minutes 0, 10, 20, 30, 40, 50 (Mbps).
-TABLE_I_TRACES = {
+TABLE_I_TRACES: dict[str, dict[str, list[int]]] = {
     "oregon": {"in": [926, 918, 906, 915, 915, 893], "out": [920, 938, 889, 929, 914, 881]},
     "california": {"in": [919, 938, 883, 924, 912, 876], "out": [928, 923, 909, 917, 919, 901]},
 }
@@ -39,11 +40,11 @@ class BandwidthTrace:
     ceil_mbps: float = 1000.0
     interval_s: float = TABLE_I_INTERVAL_S
 
-    def generate(self, samples: int, rng: np.random.Generator) -> np.ndarray:
+    def generate(self, samples: int, rng: np.random.Generator) -> npt.NDArray[np.float64]:
         """Produce ``samples`` successive bandwidth-cap values (Mbps)."""
         if samples <= 0:
             raise ValueError("need at least one sample")
-        out = np.empty(samples)
+        out: npt.NDArray[np.float64] = np.empty(samples)
         level = self.mean_mbps
         innovation_sigma = self.sigma_mbps * np.sqrt(max(1e-9, 1.0 - self.phi**2))
         for i in range(samples):
@@ -51,7 +52,7 @@ class BandwidthTrace:
             out[i] = np.clip(level, self.floor_mbps, self.ceil_mbps)
         return out
 
-    def generate_pair(self, samples: int, rng: np.random.Generator) -> dict:
+    def generate_pair(self, samples: int, rng: np.random.Generator) -> dict[str, list[int]]:
         """Inbound and outbound series, matching the Tab. I format."""
         return {
             "in": self.generate(samples, rng).round().astype(int).tolist(),
@@ -59,9 +60,9 @@ class BandwidthTrace:
         }
 
 
-def table_i_statistics() -> dict:
+def table_i_statistics() -> dict[str, float]:
     """Summary statistics of the measured Tab. I series (for tests/docs)."""
-    values = []
+    values: list[int] = []
     for dc in TABLE_I_TRACES.values():
         values.extend(dc["in"])
         values.extend(dc["out"])

@@ -171,14 +171,20 @@ class Controller:
     def problem(self, alpha: float | None = None) -> DeploymentProblem:
         """A fresh :class:`DeploymentProblem` over the current graph.
 
-        Data centers quarantined by the failure handler are excluded, so
-        a re-solve routes around them.
+        Data centers quarantined by the failure handler are *excised*
+        from the topology view — node and touching links, not merely
+        dropped from the candidate list — so the feasible-path DFS
+        cannot route data plane flows through a dead site as a plain
+        relay hop.
         """
+        graph = self.graph
+        if self.disabled_datacenters:
+            graph = nx.restricted_view(self.graph, tuple(self.disabled_datacenters), ())
         usable_dcs = [
             dc for name, dc in self.datacenters.items() if name not in self.disabled_datacenters
         ]
         return DeploymentProblem(
-            self.graph,
+            graph,
             usable_dcs,
             alpha=self.alpha if alpha is None else alpha,
             source_outbound_mbps=self.source_outbound_mbps,
@@ -240,10 +246,16 @@ class Controller:
         return self._resolve_sessions([session_id], reconcile)
 
     def remove_receiver(self, session_id: int, receiver: str, reconcile: bool = True) -> dict:
-        """RECEIVER QUIT: like session quit, scoped to one session."""
+        """RECEIVER QUIT: like session quit, scoped to one session.
+
+        The departure rebalance (Alg. 3) already re-solves every
+        remaining session under both the g1 and g2 policies, so there is
+        no separate per-session re-solve first — doing one would burn an
+        extra LP and reconcile the fleet against a plan that is
+        immediately replaced.
+        """
         session = self._session(session_id)
         session.remove_receiver(receiver)
-        self._resolve_sessions([session_id], reconcile=False)
         return self._rebalance_after_departure(reconcile)
 
     def _session(self, session_id: int) -> MulticastSession:

@@ -94,6 +94,7 @@ class CodingVnf(Node):
         # flooding the link.
         self._hop_shapes: dict[tuple, tuple] = {}   # (session, hop) -> (skip, emit)
         self._hop_progress: dict[tuple, list] = {}  # (session, hop, generation) -> [arrivals, emitted]
+        self._payload_bytes: dict[int, int] = {}    # session -> last seen wire payload size
         self.forwarding_table = ForwardingTable()
         self.buffers: dict[int, GenerationBuffer] = {}
         self._recoders: dict[tuple, Recoder] = {}
@@ -139,10 +140,49 @@ class CodingVnf(Node):
         steady-state emission count follows from the arrivals.  Leaving
         the cap off lets late extra arrivals — end-to-end repair packets
         — flow through instead of being silently absorbed.
+
+        ``skip_arrivals=0`` with no cap *clears* the shape: the hop
+        returns to default verbatim-first pipelining.  Re-optimization
+        after a failure relies on this — a stale merge shape left on a
+        hop whose merge is gone would silently starve the surviving
+        branch of degrees of freedom.
         """
         if skip_arrivals < 0 or (emit_per_generation is not None and emit_per_generation < 0):
             raise ValueError("shape parameters cannot be negative")
+        if skip_arrivals == 0 and emit_per_generation is None:
+            self._hop_shapes.pop((session_id, next_hop), None)
+            for key in [k for k in self._hop_progress if k[0] == session_id and k[1] == next_hop]:
+                del self._hop_progress[key]
+            return
         self._hop_shapes[(session_id, next_hop)] = (skip_arrivals, emit_per_generation)
+
+    def emit_repair(self, session_id: int, generation_id: int, count: int) -> int:
+        """Emit up to ``count`` fresh recodes of a buffered generation.
+
+        The relay-side half of generation-level feedback: a recoding VNF
+        already holds coded state for recent generations, so it can
+        answer a downstream NACK locally instead of waiting a full
+        round-trip to the source.  Packets go to every configured next
+        hop (duplicate degrees of freedom are harmless under RLNC).
+        Returns the number of packets sent; 0 when the generation is no
+        longer buffered — the caller then relies on the source repair.
+        """
+        if count <= 0:
+            return 0
+        recoder = self._recoders.get((session_id, generation_id))
+        payload_bytes = self._payload_bytes.get(session_id)
+        if recoder is None or recoder.buffered == 0 or payload_bytes is None:
+            return 0
+        hops = self.forwarding_table.next_hops(session_id)
+        if not hops:
+            return 0
+        sent = 0
+        for _ in range(count):
+            for hop in hops:
+                self.emitted_packets += 1
+                self.send(hop, recoder.recode(), payload_bytes, dst_port=NC_PORT)
+                sent += 1
+        return sent
 
     def drop_session(self, session_id: int) -> None:
         """Remove all state for a finished session."""
@@ -150,6 +190,7 @@ class CodingVnf(Node):
         self.configs.pop(session_id, None)
         self.buffers.pop(session_id, None)
         self._delivery.pop(session_id, None)
+        self._payload_bytes.pop(session_id, None)
         for key in [k for k in self._hop_shapes if k[0] == session_id]:
             del self._hop_shapes[key]
         for key in [k for k in self._hop_progress if k[0] == session_id]:
@@ -236,6 +277,7 @@ class CodingVnf(Node):
     def _recode_and_forward(self, original: CodedPacket, payload_bytes: int) -> None:
         config = self.configs[original.session_id]
         buffer = self.buffers[original.session_id]
+        self._payload_bytes[original.session_id] = payload_bytes
         key = (original.session_id, original.generation_id)
         recoder = self._recoders.get(key)
         if recoder is None or original.generation_id not in buffer:

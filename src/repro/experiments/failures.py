@@ -9,10 +9,12 @@ reproduction does about it, at two levels:
   runs an RLNC transfer while a :class:`~repro.faults.FaultInjector`
   pulls the power cord on a relay node (links down + daemon killed).
   Heartbeats stop, the failure detector declares the VNF dead, and the
-  recovery callback pushes pruned NC_FORWARD_TAB tables to the
-  surviving relays and reconfigures the source to the side-branch rate.
-  The result reports detection latency, per-receiver decode stalls and
-  the recovery latency — the butterfly's MTTR.
+  recovery callback runs :func:`repro.core.healing.plan_recovery` — a
+  full re-optimization (feasible-path DFS + LP deployment) over the
+  topology with the corpse excised — then pushes fresh NC_FORWARD_TABs
+  and hop shapes, reconfigures the source, and re-routes the reverse
+  control paths.  The result reports detection latency, per-receiver
+  decode stalls and the recovery latency — the butterfly's MTTR.
 - :func:`run_fleet_failover` — flow level.  The six-data-center world
   of :mod:`repro.experiments.dynamic` with live cloud providers: a VM
   is crashed under the controller, missed heartbeats trigger
@@ -31,39 +33,49 @@ from dataclasses import dataclass, field as dataclass_field
 
 import numpy as np
 
-from repro.apps.file_transfer import NcReceiverApp, NcSourceApp
+from repro.apps.file_transfer import (
+    ControlRelay,
+    NcReceiverApp,
+    NcSourceApp,
+    RepairingControlRelay,
+)
 from repro.core.controller import Controller, HeartbeatMonitor
 from repro.core.daemon import VnfDaemon
-from repro.core.forwarding import ForwardingTable
+from repro.core.healing import RecoveryPlan, plan_recovery
 from repro.core.scaling import ScalingEngine
-from repro.core.signals import NcForwardTab, NcHeartbeat, Signal, SignalBus
+from repro.core.signals import NcForwardTab, NcHeartbeat, NcSettings, Signal, SignalBus
 from repro.core.vnf import CodingVnf, VnfRole
 from repro.experiments.butterfly import (
     CONTROL_PATHS,
+    LINK_MBPS,
     RECEIVERS,
     RELAYS,
     SOURCE,
     VNF_CODING_MBPS,
-    _install_control_path,
     _make_session,
     _nc_forwarding_tables,
     _nc_hop_shapes,
     _nc_source_shares,
     _swap_node,
     build_butterfly,
+    butterfly_graph,
 )
 from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.net.events import PeriodicEvent
 from repro.rlnc.redundancy import RedundancyPolicy
 
-#: Post-recovery source allocation.  With the coding core gone each
-#: receiver lives off one 35 Mbps side branch, so the wire share backs
+#: Post-recovery margins, expressed at the 35 Mbps butterfly link so the
+#: headline numbers stay readable.  The LP optimum on any single-corpse
+#: butterfly is one 35 Mbps branch per receiver; the wire share backs
 #: off to 34 Mbps (headers ride the wire too: 1500 B on the link move
 #: 1460 B of blocks, and repairs need headroom) and the goodput λ drops
 #: to 27 Mbps so every generation carries ~k+1 packets per branch —
 #: without that margin a receiver sees exactly k random recodes per
 #: generation and the GF(256) singular-matrix rate (~0.4 %) stalls the
-#: window for a NACK round-trip every few hundred generations.
+#: window for a NACK round-trip every few hundred generations.  The
+#: harness feeds the *ratios* (34/35, 27/35) into
+#: :func:`repro.core.healing.plan_recovery`, which applies them to the
+#: LP optimum of whatever topology actually survived.
 SIDE_BRANCH_RATE_MBPS = 27.0
 SIDE_BRANCH_SHARE_MBPS = 34.0
 
@@ -90,25 +102,18 @@ class FailoverResult:
     heartbeats_sent: dict = dataclass_field(default_factory=dict)
     undeliverable_signals: int = 0
     applied_faults: list = dataclass_field(default_factory=list)
+    #: nodes declared dead by the detector, in declaration order.
+    dead_nodes: list = dataclass_field(default_factory=list)
+    #: one RecoveryPlan per death verdict (when recover=True).
+    recovery_plans: list = dataclass_field(default_factory=list)
     # Live objects for test inspection.
     topology: object = None
     source: object = None
     receivers: dict = dataclass_field(default_factory=dict)
     daemons: dict = dataclass_field(default_factory=dict)
+    control_relays: dict = dataclass_field(default_factory=dict)
     monitor: object = None
     bus: object = None
-
-
-def _pruned_tables(session_id: int, dead_node: str) -> dict:
-    """The max-flow relay tables with the dead node routed around."""
-    tables = {}
-    for relay, table in _nc_forwarding_tables(session_id).items():
-        if relay == dead_node:
-            continue
-        hops = [hop for hop in table.next_hops(session_id) if hop != dead_node]
-        if hops:
-            tables[relay] = ForwardingTable({session_id: hops})
-    return tables
 
 
 def run_butterfly_failover(
@@ -124,14 +129,30 @@ def run_butterfly_failover(
     payload_mode: str = "coefficients-only",
     plan: FaultPlan | None = None,
     recover: bool = True,
+    relay_repair: bool = False,
+    total_generations: int | None = None,
     seed: int = 7,
 ) -> FailoverResult:
-    """Crash a relay node mid-transfer; detect, reroute, keep decoding.
+    """Crash a relay node mid-transfer; detect, re-optimize, keep decoding.
 
     ``plan`` overrides the default single NODE_CRASH schedule (the
-    property tests feed random plans through here).  ``recover=False``
-    keeps the detector running but suppresses the reroute, isolating
-    what the ARQ layer alone salvages.
+    property tests and the chaos soak feed random plans through here).
+    ``recover=False`` keeps the detector running but suppresses the
+    reroute, isolating what the ARQ layer alone salvages.
+    ``relay_repair=True`` lets surviving recoding VNFs answer NACKs from
+    their buffered coded state in addition to forwarding them upstream.
+    ``total_generations`` bounds the transfer (a completable file) so
+    callers can assert it finishes; ``None`` streams for the whole run.
+
+    Recovery is a full re-optimization, not table pruning: on each death
+    verdict :func:`repro.core.healing.plan_recovery` re-runs the
+    feasible-path DFS and the LP deployment on the butterfly graph with
+    every dead node excised, then pushes fresh forwarding tables
+    (NC_FORWARD_TAB), clears or installs hop shapes (NC_SETTINGS),
+    reconfigures the source's rate and link shares, and re-routes the
+    receivers' reverse ACK/NACK paths.  This is what fixes the O1 crash:
+    the old fallback kept the source pumping half its packets into the
+    dead next hop, stalling both receivers at half rank.
     """
     if fail_node not in RELAYS:
         raise ValueError(f"fail_node must be one of {RELAYS}")
@@ -164,7 +185,27 @@ def run_butterfly_failover(
 
     result = FailoverResult(fail_node=fail_node, failed_at=fail_at_s)
 
-    _install_control_path(topo)
+    # Control path: re-targetable relay objects so recovery can move the
+    # reverse ACK/NACK route off a dead node.  With relay_repair, relays
+    # that are also recoding VNFs answer NACKs from local coded state.
+    control_relays: dict = {}
+
+    def _ensure_control_relay(node_name: str, next_hop: str) -> None:
+        existing = control_relays.get(node_name)
+        if existing is not None:
+            existing.retarget(next_hop)
+            return
+        node = topo.get(node_name)
+        if relay_repair and node_name in relays:
+            control_relays[node_name] = RepairingControlRelay(node, next_hop, relays[node_name])
+        else:
+            control_relays[node_name] = ControlRelay(node, next_hop)
+
+    for path in CONTROL_PATHS.values():
+        for node_name, nxt in zip(path[1:-1], path[2:]):
+            _ensure_control_relay(node_name, nxt)
+    result.control_relays = control_relays
+
     receivers = {
         name: NcReceiverApp(topo.get(name), session, payload_mode=payload_mode, ack_to=CONTROL_PATHS[name][1])
         for name in RECEIVERS
@@ -177,22 +218,66 @@ def run_butterfly_failover(
         payload_mode=payload_mode,
         rng=rng,
         window_generations=window_generations,
+        total_generations=total_generations,
     )
+
+    static_shapes = _nc_hop_shapes(blocks_per_generation, 0)
 
     def _on_dead(name: str) -> None:
         if result.detected_at is None:
             result.detected_at = topo.scheduler.now
+        if name not in result.dead_nodes:
+            result.dead_nodes.append(name)
         if not recover:
             return
-        # Route around the corpse: pruned tables to the survivors, and
-        # the source falls back to the rate the side branches carry.
-        for relay, table in _pruned_tables(session.session_id, name).items():
+        # Full re-optimization over the surviving topology: feasible-path
+        # DFS + LP deployment with every dead node excised.
+        recovery: RecoveryPlan = plan_recovery(
+            butterfly_graph(),
+            session,
+            result.dead_nodes,
+            RELAYS,
+            relay_capacity_mbps=VNF_CODING_MBPS,
+            wire_fraction=SIDE_BRANCH_SHARE_MBPS / LINK_MBPS,
+            goodput_fraction=SIDE_BRANCH_RATE_MBPS / LINK_MBPS,
+        )
+        result.recovery_plans.append(recovery)
+        if not recovery.feasible:
+            return  # typed outcome: no surviving route; ARQ alone from here
+        for relay, table in sorted(recovery.tables.items()):
             if bus.is_registered(relay):
                 bus.send(NcForwardTab(target=relay, table_text=table.serialize()))
+        # Hop shapes: the plan covers every (relay, hop) it routes —
+        # zero entries clear stale merge shapes.  Statically installed
+        # shapes on hops the new plan does not route get explicit clears
+        # too, so no survivor keeps skipping arrivals for a merge that
+        # no longer exists.
+        shapes_by_relay: dict = {}
+        for (relay, hop), skip in recovery.hop_shapes.items():
+            shapes_by_relay.setdefault(relay, []).append((session.session_id, hop, skip))
+        for relay, hop in static_shapes:
+            if relay not in result.dead_nodes and (relay, hop) not in recovery.hop_shapes:
+                shapes_by_relay.setdefault(relay, []).append((session.session_id, hop, 0))
+        for relay, shapes in sorted(shapes_by_relay.items()):
+            if bus.is_registered(relay):
+                bus.send(
+                    NcSettings(
+                        target=relay, session_ids=(session.session_id,), shapes=tuple(sorted(shapes))
+                    )
+                )
         source.reconfigure(
-            data_rate_mbps=SIDE_BRANCH_RATE_MBPS,
-            link_shares={share.next_hop: SIDE_BRANCH_SHARE_MBPS for share in source.shares},
+            data_rate_mbps=recovery.lambda_mbps, link_shares=dict(recovery.source_shares)
         )
+        # Re-route the reverse control paths (O2's NACK channel dies
+        # with O1 — without this the window would starve silently).
+        for receiver_name, app in receivers.items():
+            path = recovery.control_paths.get(receiver_name)
+            if path is None or len(path) < 2:
+                app.retarget_acks(None)  # no reverse route survives
+                continue
+            app.retarget_acks(path[1])
+            for node_name, nxt in zip(path[1:-1], path[2:]):
+                _ensure_control_relay(node_name, nxt)
 
     monitor = HeartbeatMonitor(
         topo.scheduler,

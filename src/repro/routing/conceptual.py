@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.routing.paths import Path
 
@@ -27,13 +28,13 @@ class ConceptualFlow:
 
     session_id: int
     receiver: str
-    path_rates: dict = field(default_factory=dict)  # Path -> rate (Mbps)
+    path_rates: dict[Path, float] = field(default_factory=dict)  # Path -> rate (Mbps)
 
     def rate(self) -> float:
         """Total conceptual flow rate (over all its paths)."""
         return sum(self.path_rates.values())
 
-    def rate_on_edge(self, edge: tuple) -> float:
+    def rate_on_edge(self, edge: tuple[str, str]) -> float:
         """Σ_{p ∋ e} f^k_m(p): this receiver's rate crossing ``edge``."""
         return sum(rate for path, rate in self.path_rates.items() if edge in path.edges)
 
@@ -52,7 +53,7 @@ class FlowDecomposition:
 
     session_id: int
     source: str
-    flows: dict = field(default_factory=dict)  # receiver -> ConceptualFlow
+    flows: dict[str, ConceptualFlow] = field(default_factory=dict)  # receiver -> ConceptualFlow
 
     def throughput(self) -> float:
         """λ_m: the session rate every receiver can be served at.
@@ -65,11 +66,11 @@ class FlowDecomposition:
             return 0.0
         return min(flow.rate() for flow in self.flows.values())
 
-    def link_rates(self) -> dict:
+    def link_rates(self) -> dict[tuple[str, str], float]:
         """f_m(e) per Eqn. 1 for every link any conceptual flow touches."""
-        per_edge: dict[tuple, float] = defaultdict(float)
+        per_edge: dict[tuple[str, str], float] = defaultdict(float)
         for flow in self.flows.values():
-            edge_rates: dict[tuple, float] = defaultdict(float)
+            edge_rates: dict[tuple[str, str], float] = defaultdict(float)
             for path, rate in flow.path_rates.items():
                 for edge in path.edges:
                     edge_rates[edge] += rate
@@ -77,7 +78,7 @@ class FlowDecomposition:
                 per_edge[edge] = max(per_edge[edge], rate)
         return dict(per_edge)
 
-    def coding_points(self, epsilon: float = 1e-9) -> set:
+    def coding_points(self, epsilon: float = 1e-9) -> set[str]:
         """Nodes where coding is actually needed.
 
         Coding happens at a node only when multiple *incoming* used links
@@ -85,13 +86,17 @@ class FlowDecomposition:
         one flow of a session arrives at a data center, direct forwarding
         is sufficient").
         """
-        in_degree: dict[str, set] = defaultdict(set)
+        in_degree: dict[str, set[str]] = defaultdict(set)
         for edge, rate in self.link_rates().items():
             if rate > epsilon:
                 in_degree[edge[1]].add(edge[0])
         return {node for node, preds in in_degree.items() if len(preds) > 1}
 
-    def validate(self, bandwidth_of=None, epsilon: float = 1e-6) -> None:
+    def validate(
+        self,
+        bandwidth_of: Callable[[tuple[str, str]], float] | None = None,
+        epsilon: float = 1e-6,
+    ) -> None:
         """Sanity-check internal consistency; raises ``ValueError`` on violation."""
         for receiver, flow in self.flows.items():
             if flow.receiver != receiver:
@@ -110,9 +115,9 @@ class FlowDecomposition:
                     raise ValueError(f"link {edge} carries {rate:.3f} > capacity {cap:.3f}")
 
 
-def actual_link_rates(decompositions: list[FlowDecomposition]) -> dict:
+def actual_link_rates(decompositions: list[FlowDecomposition]) -> dict[tuple[str, str], float]:
     """Aggregate f(e) across sessions (rates of *different* sessions add)."""
-    totals: dict[tuple, float] = defaultdict(float)
+    totals: dict[tuple[str, str], float] = defaultdict(float)
     for decomposition in decompositions:
         for edge, rate in decomposition.link_rates().items():
             totals[edge] += rate

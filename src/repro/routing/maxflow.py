@@ -30,8 +30,8 @@ def max_flow(graph: nx.DiGraph, source: str, sink: str, capacity_attr: str = "ca
         raise ValueError("source and sink must differ")
     if source not in graph or sink not in graph:
         return 0.0
-    residual: dict[tuple, float] = {}
-    adj: dict[str, set] = {n: set() for n in graph.nodes}
+    residual: dict[tuple[str, str], float] = {}
+    adj: dict[str, set[str]] = {n: set() for n in graph.nodes}
     for u, v, data in graph.edges(data=True):
         cap = float(data.get(capacity_attr, 0.0))
         if cap < 0:
@@ -44,7 +44,7 @@ def max_flow(graph: nx.DiGraph, source: str, sink: str, capacity_attr: str = "ca
     flow = 0.0
     while True:
         # BFS for the shortest augmenting path in the residual graph.
-        parent = {source: None}
+        parent: dict[str, str | None] = {source: None}
         queue = deque([source])
         while queue and sink not in parent:
             u = queue.popleft()
@@ -57,13 +57,17 @@ def max_flow(graph: nx.DiGraph, source: str, sink: str, capacity_attr: str = "ca
         # Find the bottleneck and augment.
         bottleneck = float("inf")
         v = sink
-        while parent[v] is not None:
+        while True:
             u = parent[v]
+            if u is None:
+                break
             bottleneck = min(bottleneck, residual[(u, v)])
             v = u
         v = sink
-        while parent[v] is not None:
+        while True:
             u = parent[v]
+            if u is None:
+                break
             residual[(u, v)] -= bottleneck
             residual[(v, u)] += bottleneck
             v = u

@@ -19,18 +19,18 @@ import itertools
 
 import networkx as nx
 
-from repro.lp import LinearProgram
-from repro.routing.paths import enumerate_feasible_paths
+from repro.lp import LinearProgram, Variable
+from repro.routing.paths import Path, enumerate_feasible_paths
 
 
 def candidate_trees(
     graph: nx.DiGraph,
     source: str,
-    destinations: list,
-    relay_nodes: set | None = None,
+    destinations: list[str],
+    relay_nodes: set[str] | None = None,
     max_delay_ms: float = float("inf"),
     max_paths_per_destination: int = 12,
-) -> list:
+) -> list[frozenset[tuple[str, str]]]:
     """Candidate distribution trees as per-destination path unions.
 
     Each candidate is a frozenset of edges formed by choosing one
@@ -39,13 +39,13 @@ def candidate_trees(
     relay duplicates packets), so no extra filtering is needed; duplicate
     edge sets are collapsed.
     """
-    per_destination = []
+    per_destination: list[list[Path]] = []
     for dst in destinations:
         paths = enumerate_feasible_paths(graph, source, dst, max_delay_ms, relay_nodes)[:max_paths_per_destination]
         if not paths:
             return []
         per_destination.append(paths)
-    trees = set()
+    trees: set[frozenset[tuple[str, str]]] = set()
     for combo in itertools.product(*per_destination):
         edges = frozenset(edge for path in combo for edge in path.edges)
         trees.add(edges)
@@ -55,12 +55,12 @@ def candidate_trees(
 def tree_packing_solution(
     graph: nx.DiGraph,
     source: str,
-    destinations: list,
-    relay_nodes: set | None = None,
+    destinations: list[str],
+    relay_nodes: set[str] | None = None,
     max_delay_ms: float = float("inf"),
     capacity_attr: str = "capacity_mbps",
     epsilon: float = 1e-6,
-) -> list:
+) -> list[tuple[frozenset[tuple[str, str]], float]]:
     """The packing optimum as explicit trees: [(edge frozenset, rate), ...].
 
     This is what a routing-only system deploys: stripe generations over
@@ -75,7 +75,7 @@ def tree_packing_solution(
         return []
     lp = LinearProgram()
     tree_vars = [lp.add_variable(f"t[{i}]") for i in range(len(trees))]
-    by_edge: dict = {}
+    by_edge: dict[tuple[str, str], list[Variable]] = {}
     for var, tree in zip(tree_vars, trees):
         for edge in tree:
             by_edge.setdefault(edge, []).append(var)
@@ -101,8 +101,8 @@ def tree_packing_solution(
 def tree_packing_rate(
     graph: nx.DiGraph,
     source: str,
-    destinations: list,
-    relay_nodes: set | None = None,
+    destinations: list[str],
+    relay_nodes: set[str] | None = None,
     max_delay_ms: float = float("inf"),
     capacity_attr: str = "capacity_mbps",
 ) -> float:
@@ -118,7 +118,7 @@ def tree_packing_rate(
         return 0.0
     lp = LinearProgram()
     tree_vars = [lp.add_variable(f"t[{i}]") for i in range(len(trees))]
-    by_edge: dict = {}
+    by_edge: dict[tuple[str, str], list[Variable]] = {}
     for var, tree in zip(tree_vars, trees):
         for edge in tree:
             by_edge.setdefault(edge, []).append(var)

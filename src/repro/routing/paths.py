@@ -20,11 +20,11 @@ import networkx as nx
 class Path:
     """A simple path with its cached end-to-end delay."""
 
-    nodes: tuple
+    nodes: tuple[str, ...]
     delay_ms: float
 
     @property
-    def edges(self) -> tuple:
+    def edges(self) -> tuple[tuple[str, str], ...]:
         return tuple(zip(self.nodes, self.nodes[1:]))
 
     @property
@@ -36,7 +36,7 @@ class Path:
         """True for the relay-free source→destination path."""
         return self.hops == 1
 
-    def relays(self) -> tuple:
+    def relays(self) -> tuple[str, ...]:
         """Intermediate nodes (the data centers the path uses)."""
         return self.nodes[1:-1]
 
@@ -61,7 +61,7 @@ def enumerate_feasible_paths(
     source: str,
     destination: str,
     max_delay_ms: float,
-    relay_nodes: set | None = None,
+    relay_nodes: set[str] | None = None,
     max_hops: int | None = None,
 ) -> list[Path]:
     """All simple paths source→destination with delay ≤ ``max_delay_ms``.
@@ -111,9 +111,9 @@ def feasible_path_sets(
     source: str,
     destinations: Iterable[str],
     max_delay_ms: float,
-    relay_nodes: set | None = None,
+    relay_nodes: set[str] | None = None,
     max_hops: int | None = None,
-) -> dict:
+) -> dict[str, list[Path]]:
     """P^k_m for every destination k of one session."""
     return {
         dst: enumerate_feasible_paths(graph, source, dst, max_delay_ms, relay_nodes, max_hops)

@@ -21,15 +21,17 @@ from typing import Iterable
 import networkx as nx
 
 
-def _widest_paths(graph: nx.DiGraph, source: str, capacity_attr: str) -> tuple[dict, dict]:
+def _widest_paths(
+    graph: nx.DiGraph, source: str, capacity_attr: str
+) -> tuple[dict[str, float], dict[str, str | None]]:
     """Maximum-bottleneck (widest) paths from source to every node.
 
     Dijkstra variant maximizing the minimum edge capacity along the path.
     Returns (bottleneck, parent) maps.
     """
-    bottleneck = {source: float("inf")}
-    parent: dict = {source: None}
-    visited: set = set()
+    bottleneck: dict[str, float] = {source: float("inf")}
+    parent: dict[str, str | None] = {source: None}
+    visited: set[str] = set()
     frontier = {source}
     while frontier:
         u = max(frontier, key=lambda n: bottleneck[n])
@@ -47,18 +49,25 @@ def _widest_paths(graph: nx.DiGraph, source: str, capacity_attr: str) -> tuple[d
     return bottleneck, parent
 
 
-def _tree_from_parents(parent: dict, destinations: Iterable[str]) -> set:
+def _tree_from_parents(
+    parent: dict[str, str | None], destinations: Iterable[str]
+) -> set[tuple[str, str]]:
     """Union of parent-pointer paths to the destinations (edge set)."""
-    edges: set = set()
+    edges: set[tuple[str, str]] = set()
     for dst in destinations:
         node = dst
-        while parent.get(node) is not None:
-            edges.add((parent[node], node))
-            node = parent[node]
+        while True:
+            prev = parent.get(node)
+            if prev is None:
+                break
+            edges.add((prev, node))
+            node = prev
     return edges
 
 
-def tree_throughput(graph: nx.DiGraph, edges: set, capacity_attr: str = "capacity_mbps") -> float:
+def tree_throughput(
+    graph: nx.DiGraph, edges: set[tuple[str, str]], capacity_attr: str = "capacity_mbps"
+) -> float:
     """Rate a single store-and-forward tree sustains: its bottleneck edge.
 
     In store-and-forward multicast the same stream crosses every tree
@@ -74,9 +83,9 @@ def best_multicast_tree(
     graph: nx.DiGraph,
     source: str,
     destinations: Iterable[str],
-    relay_nodes: set | None = None,
+    relay_nodes: set[str] | None = None,
     capacity_attr: str = "capacity_mbps",
-) -> tuple[set, float]:
+) -> tuple[set[tuple[str, str]], float]:
     """Best single distribution tree by exhaustive relay-subset search.
 
     For every subset of ``relay_nodes`` (all intermediate nodes by
@@ -95,7 +104,7 @@ def best_multicast_tree(
         relay_nodes = set(graph.nodes) - {source} - set(destinations)
     relay_list = sorted(relay_nodes)
 
-    best_edges: set = set()
+    best_edges: set[tuple[str, str]] = set()
     best_rate = 0.0
     for r in range(len(relay_list) + 1):
         for subset in itertools.combinations(relay_list, r):

@@ -1,0 +1,197 @@
+"""RL006 fixtures: wall-clock reads and file I/O in scheduled callbacks."""
+
+from tests.analysis.helpers import active_ids, lint
+
+SELECT = ["RL006"]
+
+
+class TestFires:
+    def test_wall_clock_in_scheduled_method(self):
+        findings = lint(
+            """
+            import time
+
+            class Probe:
+                def start(self):
+                    self.scheduler.schedule(1.0, self._tick)
+
+                def _tick(self):
+                    self.samples.append(time.time())
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL006"]
+        assert "time.time" in findings[0].message
+        assert "_tick" in findings[0].message
+
+    def test_monotonic_via_alias(self):
+        findings = lint(
+            """
+            from time import monotonic as clock
+
+            def poll():
+                return clock()
+
+            def start(scheduler):
+                scheduler.schedule_every(0.5, poll)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL006"]
+
+    def test_datetime_now(self):
+        findings = lint(
+            """
+            from datetime import datetime
+
+            class Logger:
+                def install(self):
+                    self.scheduler.schedule_at(2.0, self._stamp)
+
+                def _stamp(self):
+                    self.when = datetime.now()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL006"]
+
+    def test_open_in_handler(self):
+        findings = lint(
+            """
+            class Dumper:
+                def start(self):
+                    self.scheduler.schedule(1.0, self._flush)
+
+                def _flush(self):
+                    with open("trace.log", "a") as fh:
+                        fh.write("tick")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL006"]
+        assert "open()" in findings[0].message
+
+    def test_path_io_in_handler(self):
+        findings = lint(
+            """
+            class Snapshotter:
+                def start(self):
+                    self.scheduler.schedule(1.0, self._snap)
+
+                def _snap(self):
+                    self.path.write_text(repr(self.state))
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL006"]
+        assert "write_text" in findings[0].message
+
+    def test_lambda_callback_inline(self):
+        findings = lint(
+            """
+            import time
+
+            def start(scheduler, log):
+                scheduler.schedule(0.1, lambda: log.append(time.time()))
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL006"]
+        assert "<lambda>" in findings[0].message
+
+    def test_multiple_impurities_all_reported(self):
+        findings = lint(
+            """
+            import time
+
+            class Bad:
+                def start(self):
+                    self.scheduler.schedule(1.0, self._tick)
+
+                def _tick(self):
+                    t = time.monotonic()
+                    open("out.txt", "w").write(str(t))
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL006", "RL006"]
+
+
+class TestQuiet:
+    def test_simulated_time_is_pure(self):
+        findings = lint(
+            """
+            class Probe:
+                def start(self):
+                    self.scheduler.schedule(1.0, self._tick)
+
+                def _tick(self):
+                    self.samples.append(self.scheduler.now)
+                    self.scheduler.schedule(1.0, self._tick)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_wall_clock_outside_handlers(self):
+        # Setup/teardown and plain helpers may read the wall clock; only
+        # scheduled callbacks are held to the purity contract.
+        findings = lint(
+            """
+            import time
+
+            def benchmark(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_file_io_outside_handlers(self):
+        findings = lint(
+            """
+            def load_config(path):
+                return path.read_text()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_handler_name_matching_is_module_local(self):
+        # A function never passed to schedule() is not a handler even if
+        # another name is.
+        findings = lint(
+            """
+            import time
+
+            def tick():
+                pass
+
+            def other():
+                return time.time()
+
+            def start(scheduler):
+                scheduler.schedule(1.0, tick)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_suppression_comment_respected(self):
+        findings = lint(
+            """
+            import time
+
+            class Probe:
+                def start(self):
+                    self.scheduler.schedule(1.0, self._tick)
+
+                def _tick(self):
+                    self.t = time.time()  # repro-lint: disable=RL006
+            """,
+            select=SELECT,
+        )
+        assert [f.rule_id for f in findings] == ["RL006"]
+        assert active_ids(findings) == []

@@ -85,6 +85,19 @@ class TestSessionLifecycle:
         assert result["chosen"] in ("g1", "g2")
         assert "X" not in controller.sessions[session.session_id].receivers
 
+    def test_receiver_quit_solves_exactly_the_rebalance_pair(self, controller):
+        # Departure handling is Alg. 3 alone: one g1 solve + one g2
+        # solve (+ one _store of the winner).  The old path ran an
+        # extra per-session re-solve first — three LPs and a fleet
+        # reconcile against a plan that was immediately replaced.
+        controller.graph.add_edge("V2", "X", capacity_mbps=35.0, delay_ms=10.0)
+        session = butterfly_session()
+        controller.add_session(session)
+        controller.add_receiver(session.session_id, "X")
+        solves_before = controller.solves
+        controller.remove_receiver(session.session_id, "X")
+        assert controller.solves == solves_before + 1  # only the winning plan is stored
+
 
 class TestFleet:
     def test_reuse_before_launch(self, controller, scheduler):

@@ -274,7 +274,10 @@ class TestButterflyUnderFaults:
         # quantized to the monitor's own tick (0.1 s grid).
         assert r.detection_latency_s == pytest.approx(0.4, abs=1e-9)
         # MTTR for seed 7 is a deterministic bound, not a distribution.
-        assert r.recovery_latency_s == pytest.approx(0.441, abs=0.01)
+        # (PR 3: up from 0.441 — recovery now runs the full LP replan and
+        # pushes hop-shape clears alongside the tables, buying the O1
+        # fix at ~40 ms of extra reload pause.)
+        assert r.recovery_latency_s == pytest.approx(0.482, abs=0.01)
         for name in r.receivers:
             assert r.decoded_before[name] > 0
             assert r.decoded_after[name] > 0
@@ -290,13 +293,36 @@ class TestButterflyUnderFaults:
         for name in r.receivers:
             assert r.decoded_after[name] > 0
 
-    def test_side_relay_crash_terminates_with_typed_outcome(self):
-        # O1 carries half the source's degrees of freedom; the fallback
-        # cannot route around it, so recovery fails — but the run still
-        # terminates and says so, rather than hanging.
+    def test_side_relay_crash_recovers_to_full_rank(self):
+        # O1 carries half the source's degrees of freedom AND O2's
+        # reverse NACK path.  PR 2 could only terminate this as a typed
+        # failure (both receivers stuck at half rank); the healing layer
+        # re-runs the LP with O1 excised, moves the whole flow onto the
+        # C1 branch and re-routes O2's feedback via V2→T→C1 — so both
+        # receivers keep decoding at *full* rank.
         r = run_butterfly_failover(fail_node="O1", duration_s=2.5)
         assert r.detected_at is not None
-        assert not r.recovered
+        assert r.recovered
+        # Detection + repair bound: first post-crash decode at both
+        # receivers within a second of the failure (deterministic for
+        # seed 7; detection alone accounts for 0.4 s of it).
+        assert r.detection_latency_s == pytest.approx(0.4, abs=1e-9)
+        assert r.recovery_latency_s is not None and r.recovery_latency_s < 1.0
+        # Full rank, not a trickle: each receiver decodes at least a
+        # hundred complete generations in the remaining ~1.1 s (the
+        # window over the longer surviving path bounds the rate; what
+        # matters is that *every* generation completes).
+        for name, app in r.receivers.items():
+            assert r.decoded_after[name] > 100
+            # No half-rank residue: everything each receiver has seen
+            # is fully decoded — the PR 2 outcome left decoders stuck
+            # open at rank k/2 forever.
+            assert app._cum_ack == app.highest_seen
+            assert not app._decoders
+        # The replan is recorded and feasible.
+        assert r.recovery_plans and r.recovery_plans[0].feasible
+        assert r.recovery_plans[0].dead_nodes == ("O1",)
+        assert r.recovery_plans[0].source_shares == {"C1": pytest.approx(34.0)}
         assert all(record.status != "pending"
                    for record in r.bus.log if record.sent_at < 1.5)
 
