@@ -6,6 +6,7 @@ from repro.analysis.rules.rl003_des_discipline import DesDisciplineRule
 from repro.analysis.rules.rl004_signal_exhaustiveness import SignalExhaustivenessRule
 from repro.analysis.rules.rl005_mutable_defaults import MutableDefaultArgsRule
 from repro.analysis.rules.rl006_handler_purity import HandlerPurityRule
+from repro.analysis.rules.rl007_fwdtab_text_format import ForwardingTableFormatRule
 
 __all__ = [
     "UnseededRngRule",
@@ -14,4 +15,5 @@ __all__ = [
     "SignalExhaustivenessRule",
     "MutableDefaultArgsRule",
     "HandlerPurityRule",
+    "ForwardingTableFormatRule",
 ]

@@ -43,6 +43,11 @@ FIELD_METHODS = {
     "scale",
     "addmul",
     "linear_combination",
+    "mul_table",
+    "mul_row",
+    "matmul",
+    "scale_into",
+    "addmul_into",
     "random_elements",
     "random_nonzero",
 }

@@ -1,0 +1,80 @@
+"""RL007 — forwarding-table text-format validation.
+
+The paper's daemons exchange forwarding tables as a text format (one
+``<session_id> <hop> <hop> ...`` line per session, §III-A).  Tables
+written as string literals — controller fixtures, example topologies,
+reload-cycle tests — are parsed only when the simulation reaches them,
+so a typo'd session id or duplicated row surfaces as a mid-run
+:class:`~repro.core.forwarding.ForwardingTableError` instead of a
+review-time diagnostic.
+
+This rule runs the *real* parser over every static string literal
+passed to ``ForwardingTable.parse(...)`` at lint time.  There is no
+drift risk from a re-implemented grammar: the literal is validated by
+the exact code that will parse it at runtime.  Literals inside a
+``with pytest.raises(...)`` block are exempt — tests deliberately feed
+the parser malformed text to pin down its error behavior.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name
+from repro.analysis.engine import SourceModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, register
+from repro.core.forwarding import ForwardingTable, ForwardingTableError
+
+_PARSE_SUFFIX = "ForwardingTable.parse"
+
+
+def _raises_spans(tree: ast.Module, aliases: dict[str, str]) -> list[tuple[int, int]]:
+    """Line spans of ``with pytest.raises(...)`` blocks (inclusive)."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if not isinstance(expr, ast.Call):
+                continue
+            name = call_name(expr, aliases)
+            if name is not None and name.endswith("raises"):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+                break
+    return spans
+
+
+@register
+class ForwardingTableFormatRule(ModuleRule):
+    rule_id = "RL007"
+    name = "fwdtab-text-format"
+    description = "forwarding-table string literals must satisfy the real parser"
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        spans: list[tuple[int, int]] | None = None  # computed lazily
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            name = call_name(node, module.aliases)
+            if name is None or not name.endswith(_PARSE_SUFFIX):
+                continue
+            literal = node.args[0]
+            if not (isinstance(literal, ast.Constant) and isinstance(literal.value, str)):
+                continue  # dynamic text: nothing static to validate
+            if spans is None:
+                spans = _raises_spans(module.tree, module.aliases)
+            if any(start <= node.lineno <= end for start, end in spans):
+                continue  # deliberately malformed (error-path test)
+            try:
+                ForwardingTable.parse(literal.value)
+            except ForwardingTableError as exc:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=module.posix_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=f"forwarding-table literal rejected by ForwardingTable.parse: {exc}",
+                )

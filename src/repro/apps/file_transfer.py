@@ -267,12 +267,18 @@ class NcSourceApp:
         by_remainder = sorted(range(len(raw)), key=lambda i: raw[i] - counts[i], reverse=True)
         for i in by_remainder[:max(0, extras)]:
             counts[i] += 1
+        # All of the generation's packets come from one batched draw (one
+        # matmul for the coded tail); shares then consume the list in the
+        # same order the per-packet loop did.
+        burst = encoder.next_packets(sum(counts))
         delay = 0.0
+        emitted = 0
         for share, quota, count in zip(self.shares, raw, counts):
             share.credit = quota - count
-            for _ in range(count):
-                self.node.scheduler.schedule(delay, self._send, share.next_hop, encoder.next_packet())
+            for packet in burst[emitted : emitted + count]:
+                self.node.scheduler.schedule(delay, self._send, share.next_hop, packet)
                 delay += packet_interval
+            emitted += count
         # Systematic-first only makes sense when a single link carries the
         # whole generation; across links every receiver sees a mixture, so
         # the Encoder's coded fallback after k packets is exactly right.
@@ -340,11 +346,12 @@ class NcSourceApp:
                 self.session.session_id, generation, field=config.galois_field, systematic=False, rng=self._rng
             )
             # One extra packet of margin; repairs round-robin across links
-            # so repeated NACKs try different paths.
-            for _ in range(max(1, missing_dof) + 1):
+            # so repeated NACKs try different paths.  The whole burst is
+            # one batch matmul over the cached generation.
+            for packet in encoder.coded_packets(max(1, missing_dof) + 1):
                 share = self.shares[self._repair_rr % len(self.shares)]
                 self._repair_rr += 1
-                self._repair_queue.append((share.next_hop, encoder.next_packet()))
+                self._repair_queue.append((share.next_hop, packet))
         else:
             # Uncoded repair: the named block must reach the NACKing
             # receiver, and only some links lead there — send it down all

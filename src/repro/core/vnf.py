@@ -176,12 +176,15 @@ class CodingVnf(Node):
         hops = self.forwarding_table.next_hops(session_id)
         if not hops:
             return 0
+        # One batch matmul covers every (round, hop) emission; packets go
+        # out in the same (round-major) order the per-call loop produced.
+        packets = recoder.recode_batch(count * len(hops))
         sent = 0
-        for _ in range(count):
-            for hop in hops:
-                self.emitted_packets += 1
-                self.send(hop, recoder.recode(), payload_bytes, dst_port=NC_PORT)
-                sent += 1
+        for packet in packets:
+            hop = hops[sent % len(hops)]
+            self.emitted_packets += 1
+            self.send(hop, packet, payload_bytes, dst_port=NC_PORT)
+            sent += 1
         return sent
 
     def drop_session(self, session_id: int) -> None:

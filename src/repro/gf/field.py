@@ -8,6 +8,23 @@ once per field and then multiply whole numpy arrays with two gathers,
 one add and one gather — this is what makes RLNC coding fast enough in
 Python (the repro-band note: "GF coding slow in pure Python; needs numpy
 tricks").
+
+Two tiers of kernels live here:
+
+- the log/exp implementations (:meth:`GaloisField.mul`,
+  :meth:`GaloisField.scale`, :meth:`GaloisField.linear_combination`, …)
+  are the *reference oracle*: simple, zero-masked, property-tested, and
+  deliberately left untouched so the fast tier has something to be
+  bit-compared against;
+- the table-driven batch kernels (:meth:`GaloisField.mul_table`,
+  :meth:`GaloisField.matmul`, :meth:`GaloisField.scale_into`,
+  :meth:`GaloisField.addmul_into`) run off a lazily-built full
+  multiplication table (a 256×256 byte array for GF(2^8); uint16 fields
+  use a per-coefficient row cache instead, since a full table would be
+  8 GiB) and are what the RLNC hot path actually calls.  One
+  :meth:`~GaloisField.matmul` call codes a whole redundancy burst with a
+  single fancy gather plus one ``bitwise_xor.reduce`` — no per-row
+  temporaries, no zero masks.
 """
 
 from __future__ import annotations
@@ -58,6 +75,8 @@ class GaloisField:
         self.order = 1 << w
         self.poly = _PRIMITIVE_POLY[w]
         self.dtype = np.uint8 if w <= 8 else np.uint16
+        self._mul_full: FieldArray | None = None
+        self._mul_rows_cache: dict[int, FieldArray] = {}
         self._build_tables()
 
     def _build_tables(self) -> None:
@@ -163,6 +182,155 @@ class GaloisField:
                 acc = np.bitwise_xor(acc, row)
                 continue
             acc = self.addmul(acc, c, row)
+        return acc
+
+    # -- table-driven fast kernels ------------------------------------
+    #
+    # Everything below is the data-plane fast path.  The log/exp methods
+    # above stay as the reference oracle; tests/gf/test_table_kernels.py
+    # proves these produce bit-identical results over exhaustive scalar
+    # pairs and random matrices.
+
+    #: Row-cache bound for uint16 fields (128 KiB per cached row).
+    _ROW_CACHE_LIMIT = 1024
+
+    #: Chunk budget (elements) for the (m, k, n) gather in matmul, so a
+    #: huge burst never materializes an unbounded temporary.
+    _MATMUL_CHUNK_ELEMS = 1 << 26
+
+    @property
+    def MUL(self) -> FieldArray:
+        """The full multiplication table: ``MUL[a, b] == a * b``.
+
+        Built lazily from the log/exp oracle on first use and cached on
+        the field (64 KiB for GF(2^8), 256 B for GF(2^4)).  Only defined
+        for w ≤ 8 — a GF(2^16) full table would be 8 GiB; uint16 fields
+        go through the per-coefficient row cache instead.
+        """
+        if self.w > 8:
+            raise ValueError("full MUL table only exists for w <= 8; uint16 fields use the row cache")
+        table = self._mul_full
+        if table is None:
+            a = np.arange(self.order, dtype=self.dtype)
+            table = self.mul(a[:, None], a[None, :])
+            self._mul_full = table
+        return table
+
+    def mul_row(self, coeff: Coefficient) -> FieldArray:
+        """One row of the multiplication table: ``row[b] == coeff * b``.
+
+        For w ≤ 8 this is a view into the full table; for GF(2^16) rows
+        are built on demand and kept in a bounded FIFO cache.
+        """
+        c = int(coeff)
+        if not 0 <= c < self.order:
+            raise ValueError(f"coefficient {c} out of range for GF(2^{self.w})")
+        if self.w <= 8:
+            return self.MUL[c]
+        row = self._mul_rows_cache.get(c)
+        if row is None:
+            row = self.mul(self.dtype(c), np.arange(self.order, dtype=self.dtype))
+            if len(self._mul_rows_cache) >= self._ROW_CACHE_LIMIT:
+                self._mul_rows_cache.pop(next(iter(self._mul_rows_cache)))
+            self._mul_rows_cache[c] = row
+        return row
+
+    def mul_table(self, coeff_row: FieldLike, matrix: FieldLike) -> FieldArray:
+        """Row-wise scaling: ``out[i] = coeff_row[i] * matrix[i]``.
+
+        ``coeff_row`` has shape (k,), ``matrix`` (k, n).  For w ≤ 8 this
+        is a *single* fancy gather into the full MUL table — no zero
+        masks, no per-row temporaries.
+        """
+        coeffs = np.asarray(coeff_row, dtype=self.dtype)
+        matrix = np.asarray(matrix, dtype=self.dtype)
+        if coeffs.ndim != 1 or matrix.ndim != 2 or coeffs.shape[0] != matrix.shape[0]:
+            raise ValueError(f"shape mismatch: coeffs {coeffs.shape} vs matrix {matrix.shape}")
+        if self.w <= 8:
+            result: FieldArray = self.MUL[coeffs[:, None], matrix]
+            return result
+        out = np.empty_like(matrix)
+        for i in range(coeffs.shape[0]):
+            np.take(self.mul_row(coeffs[i]), matrix[i], out=out[i])
+        return out
+
+    def matmul(self, coeff_matrix: FieldLike, blocks: FieldLike) -> FieldArray:
+        """Batch matrix product ``C @ B`` over the field.
+
+        ``coeff_matrix`` has shape (m, k) — one coefficient vector per
+        output packet — and ``blocks`` shape (k, n).  One call codes a
+        whole redundancy burst: the products come from a single gather
+        into the MUL table and the field additions collapse into one
+        ``np.bitwise_xor.reduce``.  This is the headline kernel; see
+        DESIGN.md §10 for measured speedups over per-packet
+        :meth:`linear_combination`.
+        """
+        c = np.asarray(coeff_matrix, dtype=self.dtype)
+        b = np.asarray(blocks, dtype=self.dtype)
+        if c.ndim != 2 or b.ndim != 2 or c.shape[1] != b.shape[0]:
+            raise ValueError(f"shape mismatch: {c.shape} @ {b.shape}")
+        m, k = c.shape
+        n = b.shape[1]
+        out = np.zeros((m, n), dtype=self.dtype)
+        if k == 0 or n == 0 or m == 0:
+            return out
+        if self.w <= 8:
+            # Flatten the 2-D table lookup into one `take`: the index of
+            # C[i,j] * B[j,l] in MUL.ravel() is C[i,j] * order + B[j,l].
+            # Converting to intp once up front keeps the gather itself a
+            # single pass with no per-element index coercion.
+            flat = self.MUL.reshape(-1)
+            b_idx = b.astype(np.intp)
+            c_idx = c.astype(np.intp) * self.order
+            step = max(1, self._MATMUL_CHUNK_ELEMS // max(1, k * n))
+            for s in range(0, m, step):
+                indices = c_idx[s : s + step, :, None] + b_idx[None, :, :]
+                np.bitwise_xor.reduce(flat.take(indices), axis=1, out=out[s : s + step])
+        else:
+            for i in range(m):
+                np.bitwise_xor.reduce(self.mul_table(c[i], b), axis=0, out=out[i])
+        return out
+
+    def scale_into(self, coeff: Coefficient, vec: FieldLike, out: FieldArray) -> FieldArray:
+        """``out[...] = coeff * vec`` into a caller-owned buffer.
+
+        The in-place counterpart of :meth:`scale`: one gather straight
+        into ``out``, zero allocations.  ``out`` may alias ``vec``.
+        """
+        vec = np.asarray(vec, dtype=self.dtype)
+        if out.shape != vec.shape or out.dtype != self.dtype:
+            raise ValueError(f"out buffer {out.dtype}{out.shape} does not match vec {vec.shape}")
+        c = int(coeff)
+        if c == 0:
+            out[...] = 0
+        elif c == 1:
+            np.copyto(out, vec)
+        else:
+            np.take(self.mul_row(c), vec, out=out)
+        return out
+
+    def addmul_into(
+        self, acc: FieldArray, coeff: Coefficient, vec: FieldLike, scratch: FieldArray | None = None
+    ) -> FieldArray:
+        """``acc ^= coeff * vec`` in place — the decoder's row operation.
+
+        ``scratch`` (same shape as ``vec``) lets callers reuse one
+        reduction buffer across calls; without it a temporary of
+        ``vec``'s shape is allocated for the product.
+        """
+        vec = np.asarray(vec, dtype=self.dtype)
+        if acc.shape != vec.shape or acc.dtype != self.dtype:
+            raise ValueError(f"acc buffer {acc.dtype}{acc.shape} does not match vec {vec.shape}")
+        c = int(coeff)
+        if c == 0:
+            return acc
+        if c == 1:
+            np.bitwise_xor(acc, vec, out=acc)
+            return acc
+        if scratch is None or scratch.shape != vec.shape or scratch.dtype != self.dtype:
+            scratch = np.empty_like(vec)
+        np.take(self.mul_row(c), vec, out=scratch)
+        np.bitwise_xor(acc, scratch, out=acc)
         return acc
 
     # -- randomness ---------------------------------------------------

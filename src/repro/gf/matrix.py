@@ -20,23 +20,16 @@ def gf_matvec(field: GaloisField, mat: FieldLike, vec: FieldLike) -> FieldArray:
     vec = np.asarray(vec, dtype=field.dtype)
     if mat.ndim != 2 or vec.ndim != 1 or mat.shape[1] != vec.shape[0]:
         raise ValueError(f"shape mismatch: {mat.shape} @ {vec.shape}")
-    out = np.zeros(mat.shape[0], dtype=field.dtype)
-    for j, c in enumerate(vec):
-        if c:
-            out = field.add(out, field.scale(c, mat[:, j]))
-    return out
+    return field.matmul(mat, vec[:, None])[:, 0]
 
 
 def gf_matmul(field: GaloisField, a: FieldLike, b: FieldLike) -> FieldArray:
-    """Matrix product ``a @ b`` over the field."""
+    """Matrix product ``a @ b`` over the field (table-kernel fast path)."""
     a = np.asarray(a, dtype=field.dtype)
     b = np.asarray(b, dtype=field.dtype)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
-    for i in range(a.shape[0]):
-        out[i] = field.linear_combination(a[i], b)
-    return out
+    return field.matmul(a, b)
 
 
 def gf_rref(field: GaloisField, mat: FieldLike) -> tuple[FieldArray, list[int]]:

@@ -16,10 +16,28 @@ Integer variables are handled by LP relaxation + rounding (see
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
 
 import numpy as np
+import numpy.typing as npt
+
+#: Anything coercible into a linear expression.
+ExprLike = Union["LinExpr", "Variable", int, float]
+
+FloatArray = npt.NDArray[np.float64]
+
+#: Per-variable (lower, upper) bounds; ``None`` upper means unbounded.
+Bounds = list[tuple[float, Union[float, None]]]
+
+CompiledProgram = tuple[
+    FloatArray,
+    Union[FloatArray, None],
+    Union[FloatArray, None],
+    Union[FloatArray, None],
+    Union[FloatArray, None],
+    Bounds,
+]
 
 
 class SolveError(RuntimeError):
@@ -31,12 +49,12 @@ class LinExpr:
 
     __slots__ = ("terms", "constant")
 
-    def __init__(self, terms: dict | None = None, constant: float = 0.0):
+    def __init__(self, terms: dict[Variable, float] | None = None, constant: float = 0.0) -> None:
         self.terms: dict[Variable, float] = dict(terms) if terms else {}
         self.constant = float(constant)
 
     @staticmethod
-    def _coerce(other) -> "LinExpr":
+    def _coerce(other: object) -> "LinExpr":
         if isinstance(other, LinExpr):
             return other
         if isinstance(other, Variable):
@@ -45,42 +63,42 @@ class LinExpr:
             return LinExpr(constant=float(other))
         raise TypeError(f"cannot use {type(other).__name__} in a linear expression")
 
-    def __add__(self, other) -> "LinExpr":
-        other = self._coerce(other)
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        coerced = self._coerce(other)
         terms = dict(self.terms)
-        for var, coef in other.terms.items():
+        for var, coef in coerced.terms.items():
             terms[var] = terms.get(var, 0.0) + coef
-        return LinExpr(terms, self.constant + other.constant)
+        return LinExpr(terms, self.constant + coerced.constant)
 
     __radd__ = __add__
 
     def __neg__(self) -> "LinExpr":
         return LinExpr({v: -c for v, c in self.terms.items()}, -self.constant)
 
-    def __sub__(self, other) -> "LinExpr":
+    def __sub__(self, other: ExprLike) -> "LinExpr":
         return self + (-self._coerce(other))
 
-    def __rsub__(self, other) -> "LinExpr":
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
         return self._coerce(other) + (-self)
 
-    def __mul__(self, scalar) -> "LinExpr":
+    def __mul__(self, scalar: object) -> "LinExpr":
         if not isinstance(scalar, (int, float)):
             raise TypeError("expressions can only be scaled by numbers (the program must stay linear)")
         return LinExpr({v: c * scalar for v, c in self.terms.items()}, self.constant * scalar)
 
     __rmul__ = __mul__
 
-    def __le__(self, other) -> "Constraint":
+    def __le__(self, other: ExprLike) -> "Constraint":
         return Constraint(self - self._coerce(other), "<=")
 
-    def __ge__(self, other) -> "Constraint":
+    def __ge__(self, other: ExprLike) -> "Constraint":
         return Constraint(self - self._coerce(other), ">=")
 
-    def eq(self, other) -> "Constraint":
+    def eq(self, other: ExprLike) -> "Constraint":
         """Equality constraint (named method: ``==`` is kept for identity)."""
         return Constraint(self - self._coerce(other), "==")
 
-    def value(self, assignment: dict) -> float:
+    def value(self, assignment: dict[Variable, float]) -> float:
         """Evaluate under a {Variable: value} assignment."""
         return self.constant + sum(coef * assignment[var] for var, coef in self.terms.items())
 
@@ -94,11 +112,13 @@ class LinExpr:
 class Variable:
     """A decision variable with bounds; hashable by identity."""
 
-    _ids = itertools.count()
+    _ids: Iterator[int] = itertools.count()
 
     __slots__ = ("name", "lower", "upper", "integer", "index")
 
-    def __init__(self, name: str, lower: float = 0.0, upper: float | None = None, integer: bool = False):
+    def __init__(
+        self, name: str, lower: float = 0.0, upper: float | None = None, integer: bool = False
+    ) -> None:
         self.name = name
         self.lower = lower
         self.upper = upper
@@ -109,32 +129,32 @@ class Variable:
     def _expr(self) -> LinExpr:
         return LinExpr({self: 1.0})
 
-    def __add__(self, other):
+    def __add__(self, other: ExprLike) -> LinExpr:
         return self._expr() + other
 
     __radd__ = __add__
 
-    def __sub__(self, other):
+    def __sub__(self, other: ExprLike) -> LinExpr:
         return self._expr() - other
 
-    def __rsub__(self, other):
+    def __rsub__(self, other: ExprLike) -> LinExpr:
         return LinExpr._coerce(other) - self._expr()
 
-    def __neg__(self):
+    def __neg__(self) -> LinExpr:
         return -self._expr()
 
-    def __mul__(self, scalar):
+    def __mul__(self, scalar: object) -> LinExpr:
         return self._expr() * scalar
 
     __rmul__ = __mul__
 
-    def __le__(self, other):
+    def __le__(self, other: ExprLike) -> "Constraint":
         return self._expr() <= other
 
-    def __ge__(self, other):
+    def __ge__(self, other: ExprLike) -> "Constraint":
         return self._expr() >= other
 
-    def eq(self, other):
+    def eq(self, other: ExprLike) -> "Constraint":
         return self._expr().eq(other)
 
     def __repr__(self) -> str:
@@ -150,11 +170,11 @@ class Constraint:
     sense: str  # one of "<=", ">=", "=="
     name: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.sense not in ("<=", ">=", "=="):
             raise ValueError(f"unknown constraint sense {self.sense!r}")
 
-    def violation(self, assignment: dict) -> float:
+    def violation(self, assignment: dict[Variable, float]) -> float:
         """How far the constraint is from holding (0 when satisfied)."""
         v = self.expr.value(assignment)
         if self.sense == "<=":
@@ -169,14 +189,14 @@ class Solution:
     """Solved program: optimal values and objective."""
 
     objective: float
-    values: dict
+    values: dict[Variable, float]
     status: str = "optimal"
     backend: str = "highs"
 
     def __getitem__(self, var: Variable) -> float:
         return self.values[var]
 
-    def value(self, expr) -> float:
+    def value(self, expr: ExprLike) -> float:
         """Evaluate a Variable or LinExpr under this solution."""
         return LinExpr._coerce(expr).value(self.values)
 
@@ -184,7 +204,7 @@ class Solution:
 class LinearProgram:
     """A max/min linear program over continuous and integer variables."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.variables: list[Variable] = []
         self.constraints: list[Constraint] = []
         self._objective: LinExpr | None = None
@@ -200,8 +220,14 @@ class LinearProgram:
         self.variables.append(var)
         return var
 
-    def add_variables(self, names: Iterable[str], **kwargs) -> list[Variable]:
-        return [self.add_variable(n, **kwargs) for n in names]
+    def add_variables(
+        self,
+        names: Iterable[str],
+        lower: float = 0.0,
+        upper: float | None = None,
+        integer: bool = False,
+    ) -> list[Variable]:
+        return [self.add_variable(n, lower=lower, upper=upper, integer=integer) for n in names]
 
     def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
         if name:
@@ -212,30 +238,37 @@ class LinearProgram:
         self.constraints.append(constraint)
         return constraint
 
-    def maximize(self, expr) -> None:
+    def maximize(self, expr: ExprLike) -> None:
         self._objective = LinExpr._coerce(expr)
         self._sense = "max"
 
-    def minimize(self, expr) -> None:
+    def minimize(self, expr: ExprLike) -> None:
         self._objective = LinExpr._coerce(expr)
         self._sense = "min"
 
     # -- compilation ---------------------------------------------------------
 
-    def _compile(self):
+    def _compile(self) -> CompiledProgram:
         """Build (c, A_ub, b_ub, A_eq, b_eq, bounds) for minimization."""
         if self._objective is None:
             raise SolveError("no objective set")
         n = len(self.variables)
         c = np.zeros(n)
         for var, coef in self._objective.terms.items():
+            if var.index is None or var.index >= n or self.variables[var.index] is not var:
+                raise SolveError(f"objective uses variable {var.name} not belonging to this program")
             c[var.index] = coef
         if self._sense == "max":
             c = -c
-        rows_ub, rhs_ub, rows_eq, rhs_eq = [], [], [], []
+        rows_ub: list[FloatArray] = []
+        rhs_ub: list[float] = []
+        rows_eq: list[FloatArray] = []
+        rhs_eq: list[float] = []
         for con in self.constraints:
             row = np.zeros(n)
             for var, coef in con.expr.terms.items():
+                if var.index is None:  # add_constraint already validated membership
+                    raise SolveError(f"constraint uses unregistered variable {var.name}")
                 row[var.index] = coef
             rhs = -con.expr.constant
             if con.sense == "<=":
@@ -251,7 +284,7 @@ class LinearProgram:
         b_ub = np.array(rhs_ub) if rhs_ub else None
         a_eq = np.array(rows_eq) if rows_eq else None
         b_eq = np.array(rhs_eq) if rhs_eq else None
-        bounds = [(v.lower, v.upper) for v in self.variables]
+        bounds: Bounds = [(v.lower, v.upper) for v in self.variables]
         return c, a_ub, b_ub, a_eq, b_eq, bounds
 
     # -- solving ----------------------------------------------------------------
@@ -276,17 +309,24 @@ class LinearProgram:
             raise ValueError(f"unknown backend {backend!r}")
         if self._sense == "max":
             objective = -objective
-        assignment = {var: float(values[var.index]) for var in self.variables}
+        assignment = {var: float(values[i]) for i, var in enumerate(self.variables)}
         return Solution(objective=float(objective), values=assignment, backend=backend)
 
     @staticmethod
-    def _solve_highs(c, a_ub, b_ub, a_eq, b_eq, bounds):
+    def _solve_highs(
+        c: FloatArray,
+        a_ub: FloatArray | None,
+        b_ub: FloatArray | None,
+        a_eq: FloatArray | None,
+        b_eq: FloatArray | None,
+        bounds: Bounds,
+    ) -> tuple[FloatArray, float]:
         from scipy.optimize import linprog
 
         res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
         if not res.success:
             raise SolveError(f"HiGHS failed: {res.message}")
-        return res.x, res.fun
+        return np.asarray(res.x, dtype=np.float64), float(res.fun)
 
     def __repr__(self) -> str:
         return f"LinearProgram({len(self.variables)} vars, {len(self.constraints)} constraints, {self._sense})"

@@ -18,7 +18,7 @@ import math
 from repro.lp.model import Solution, Variable
 
 
-def round_up_integers(solution: Solution, tolerance: float = 1e-6) -> dict:
+def round_up_integers(solution: Solution, tolerance: float = 1e-6) -> dict[Variable, int]:
     """Integer values for every integral variable in ``solution``.
 
     Values within ``tolerance`` of an integer snap to it (so 2.0000001
@@ -37,7 +37,7 @@ def round_up_integers(solution: Solution, tolerance: float = 1e-6) -> dict:
     return out
 
 
-def apply_rounding(solution: Solution, rounded: dict) -> Solution:
+def apply_rounding(solution: Solution, rounded: dict[Variable, int]) -> Solution:
     """A new Solution with integral variables replaced by their rounding.
 
     The objective is re-evaluated under the modified assignment when the

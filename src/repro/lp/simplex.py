@@ -16,73 +16,89 @@ backend for anything big.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
+import numpy.typing as npt
+
+FloatArray = npt.NDArray[np.float64]
 
 _EPS = 1e-9
 
 
 @dataclass
 class SimplexResult:
-    x: np.ndarray
+    x: FloatArray
     objective: float
     success: bool
     status: str
     iterations: int = 0
 
 
-def solve_simplex(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, max_iter: int = 20000) -> SimplexResult:
+def solve_simplex(
+    c: npt.ArrayLike,
+    a_ub: npt.ArrayLike | None = None,
+    b_ub: npt.ArrayLike | None = None,
+    a_eq: npt.ArrayLike | None = None,
+    b_eq: npt.ArrayLike | None = None,
+    bounds: Sequence[tuple[float | None, float | None]] | None = None,
+    max_iter: int = 20000,
+) -> SimplexResult:
     """Minimize ``c @ x`` subject to inequality/equality rows and bounds."""
-    c = np.asarray(c, dtype=float)
-    n = c.shape[0]
-    bounds = bounds if bounds is not None else [(0.0, None)] * n
+    cost = np.asarray(c, dtype=np.float64)
+    n = cost.shape[0]
+    var_bounds: Sequence[tuple[float | None, float | None]] = (
+        bounds if bounds is not None else [(0.0, None)] * n
+    )
 
     # --- normalize variables to x' >= 0 by shifting lower bounds; finite
     # upper bounds become extra <= rows.
     shift = np.zeros(n)
-    extra_rows, extra_rhs = [], []
-    for j, (lo, hi) in enumerate(bounds):
-        lo = 0.0 if lo is None else float(lo)
-        if lo == -np.inf or (bounds[j][0] is None):
+    extra_rows: list[FloatArray] = []
+    extra_rhs: list[float] = []
+    for j, (lo, hi) in enumerate(var_bounds):
+        if lo is None or lo == -np.inf:
             # Free-below variables are not produced by our modeling layer
             # (everything in problem (2) is >= 0); reject loudly.
             raise ValueError("simplex backend requires finite lower bounds")
-        shift[j] = lo
+        shift[j] = float(lo)
         if hi is not None:
             row = np.zeros(n)
             row[j] = 1.0
             extra_rows.append(row)
-            extra_rhs.append(float(hi) - lo)
+            extra_rhs.append(float(hi) - float(lo))
 
-    def _shift_rhs(a, b):
-        if a is None:
+    def _shift_rhs(
+        a: npt.ArrayLike | None, b: npt.ArrayLike | None
+    ) -> tuple[FloatArray, FloatArray] | tuple[None, None]:
+        if a is None or b is None:
             return None, None
-        a = np.asarray(a, dtype=float).reshape(-1, n)
-        b = np.asarray(b, dtype=float).ravel() - a @ shift
-        return a, b
+        mat = np.asarray(a, dtype=np.float64).reshape(-1, n)
+        rhs = np.asarray(b, dtype=np.float64).ravel() - mat @ shift
+        return mat, rhs
 
-    a_ub, b_ub = _shift_rhs(a_ub, b_ub)
-    a_eq, b_eq = _shift_rhs(a_eq, b_eq)
+    ub_a, ub_b = _shift_rhs(a_ub, b_ub)
+    eq_a, eq_b = _shift_rhs(a_eq, b_eq)
     if extra_rows:
         extra = np.array(extra_rows)
         extra_b = np.array(extra_rhs)
-        a_ub = extra if a_ub is None else np.vstack([a_ub, extra])
-        b_ub = extra_b if b_ub is None else np.concatenate([b_ub, extra_b])
+        ub_a = extra if ub_a is None else np.vstack([ub_a, extra])
+        ub_b = extra_b if ub_b is None else np.concatenate([ub_b, extra_b])
 
     # --- standard form: slacks for <= rows.
-    m_ub = 0 if a_ub is None else a_ub.shape[0]
-    m_eq = 0 if a_eq is None else a_eq.shape[0]
+    m_ub = 0 if ub_a is None else ub_a.shape[0]
+    m_eq = 0 if eq_a is None else eq_a.shape[0]
     m = m_ub + m_eq
     total = n + m_ub  # structural + slack
     big_a = np.zeros((m, total))
     big_b = np.zeros(m)
-    if m_ub:
-        big_a[:m_ub, :n] = a_ub
+    if ub_a is not None and ub_b is not None:
+        big_a[:m_ub, :n] = ub_a
         big_a[:m_ub, n : n + m_ub] = np.eye(m_ub)
-        big_b[:m_ub] = b_ub
-    if m_eq:
-        big_a[m_ub:, :n] = a_eq
-        big_b[m_ub:] = b_eq
+        big_b[:m_ub] = ub_b
+    if eq_a is not None and eq_b is not None:
+        big_a[m_ub:, :n] = eq_a
+        big_b[m_ub:] = eq_b
     # Make every rhs non-negative for phase 1.
     neg = big_b < 0
     big_a[neg] *= -1
@@ -117,7 +133,7 @@ def solve_simplex(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, ma
     tableau2 = np.zeros((m + 1, total + 1))
     tableau2[:m, :total] = tableau[:m, :total]
     tableau2[:m, -1] = tableau[:m, -1]
-    tableau2[m, :n] = c
+    tableau2[m, :n] = cost
     for i, bv in enumerate(basis):
         if bv < total and abs(tableau2[m, bv]) > _EPS:
             tableau2[m] -= tableau2[m, bv] * tableau2[i]
@@ -131,10 +147,10 @@ def solve_simplex(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, ma
         if bv < total:
             x[bv] = tableau2[i, -1]
     solution = x[:n] + shift
-    return SimplexResult(solution, float(c @ solution), True, "optimal", iters1 + iters2)
+    return SimplexResult(solution, float(cost @ solution), True, "optimal", iters1 + iters2)
 
 
-def _pivot_loop(tableau: np.ndarray, basis: list, max_iter: int) -> tuple[int, str]:
+def _pivot_loop(tableau: FloatArray, basis: list[int], max_iter: int) -> tuple[int, str]:
     """Run simplex pivots until optimal/unbounded; Bland's rule."""
     m = tableau.shape[0] - 1
     for iteration in range(max_iter):
@@ -151,14 +167,14 @@ def _pivot_loop(tableau: np.ndarray, basis: list, max_iter: int) -> tuple[int, s
         if not np.isfinite(ratios).any():
             return iteration, "unbounded"
         # Bland tie-break on the leaving variable as well.
-        best = ratios.min()
+        best = float(ratios.min())
         tied = [i for i in range(m) if ratios[i] <= best + _EPS]
         row = min(tied, key=lambda i: basis[i])
         _pivot(tableau, basis, row, col)
     return max_iter, "iteration limit"
 
 
-def _pivot(tableau: np.ndarray, basis: list, row: int, col: int) -> None:
+def _pivot(tableau: FloatArray, basis: list[int], row: int, col: int) -> None:
     tableau[row] /= tableau[row, col]
     for i in range(tableau.shape[0]):
         if i != row and abs(tableau[i, col]) > _EPS:

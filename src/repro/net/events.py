@@ -16,7 +16,7 @@ from typing import Any, Callable
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_scheduler")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
         self.time = time
@@ -24,10 +24,20 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference while the event sits in the queue, so cancel()
+        # can keep the scheduler's live/cancelled counters exact.  The
+        # scheduler nulls it when the event leaves the heap; a cancel()
+        # after firing is then a pure flag set.
+        self._scheduler: "EventScheduler | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -80,9 +90,17 @@ class PeriodicEvent:
 class EventScheduler:
     """Priority-queue event loop with a simulated clock."""
 
+    # Compaction threshold: rebuild the heap when cancelled entries both
+    # exceed this floor and outnumber the live ones, so a long-running
+    # simulation that cancels heavily (retry timers, heartbeat guards)
+    # keeps its heap proportional to the *live* event count.
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._seq = itertools.count()
+        self._live = 0
+        self._cancelled = 0
         self.now = 0.0
         self.processed = 0
 
@@ -91,8 +109,24 @@ class EventScheduler:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         event = Event(self.now + delay, next(self._seq), fn, args)
+        event._scheduler = self
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _on_cancel(self) -> None:
+        """Counter upkeep for an in-queue cancellation (called by Event)."""
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > self._COMPACT_MIN_CANCELLED and self._cancelled > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the queue."""
+        queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(queue)
+        self._queue = queue
+        self._cancelled = 0
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
@@ -115,15 +149,19 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._live
 
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
+                event._scheduler = None
                 continue
+            self._live -= 1
+            event._scheduler = None
             self.now = event.time
             self.processed += 1
             event.fn(*event.args)
@@ -142,6 +180,8 @@ class EventScheduler:
             nxt = self._queue[0]
             if nxt.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled -= 1
+                nxt._scheduler = None
                 continue
             if until is not None and nxt.time > until:
                 break

@@ -41,6 +41,12 @@ class Decoder:
         self._coeffs = np.zeros((block_count, block_count), dtype=field.dtype)
         self._payloads = np.zeros((block_count, block_bytes), dtype=field.dtype)
         self._pivot_rows: dict[int, int] = {}  # pivot column -> row index
+        # Reusable work/reduction buffers: every incoming packet is
+        # reduced in place here, so folding a packet allocates nothing.
+        self._work_coeffs = np.empty(block_count, dtype=field.dtype)
+        self._work_payload = np.empty(block_bytes, dtype=field.dtype)
+        self._scratch_coeffs = np.empty(block_count, dtype=field.dtype)
+        self._scratch_payload = np.empty(block_bytes, dtype=field.dtype)
         self.received = 0
         self.redundant = 0
 
@@ -77,27 +83,29 @@ class Decoder:
                 f"payload is {packet.payload.shape[0]} bytes, decoder expects {self.block_bytes}"
             )
         self.received += 1
-        coeffs = packet.coefficients.astype(self.field.dtype).copy()
-        payload = packet.payload.astype(self.field.dtype).copy()
+        # Fold into the reusable work buffers (no .astype().copy()
+        # double-copy; the cast happens during the buffer fill).
+        coeffs = self._work_coeffs
+        payload = self._work_payload
+        np.copyto(coeffs, packet.coefficients)
+        np.copyto(payload, packet.payload)
 
-        # Reduce against existing pivots.
+        # Reduce against existing pivots, in place.
         for col in range(self.block_count):
-            if not coeffs[col]:
+            factor = int(coeffs[col])
+            if not factor:
                 continue
             row = self._pivot_rows.get(col)
             if row is None:
-                # New pivot: normalize and store.
-                inv = self.field.inv(coeffs[col])
-                coeffs = self.field.scale(inv, coeffs)
-                payload = self.field.scale(inv, payload)
+                # New pivot: normalize straight into the stored row.
+                inv = int(self.field.inv(factor))
                 slot = self.rank
-                self._coeffs[slot] = coeffs
-                self._payloads[slot] = payload
+                self.field.scale_into(inv, coeffs, self._coeffs[slot])
+                self.field.scale_into(inv, payload, self._payloads[slot])
                 self._pivot_rows[col] = slot
                 return True
-            factor = coeffs[col]
-            coeffs = self.field.add(coeffs, self.field.scale(factor, self._coeffs[row]))
-            payload = self.field.add(payload, self.field.scale(factor, self._payloads[row]))
+            self.field.addmul_into(coeffs, factor, self._coeffs[row], scratch=self._scratch_coeffs)
+            self.field.addmul_into(payload, factor, self._payloads[row], scratch=self._scratch_payload)
         # Reduced to zero: linearly dependent.
         self.redundant += 1
         return False

@@ -115,6 +115,71 @@ class Encoder:
             payload=payload,
         )
 
+    def coded_packets(self, count: int) -> list[CodedPacket]:
+        """Produce ``count`` dense coded packets through one batch matmul.
+
+        All coefficient vectors for the burst are drawn in a single RNG
+        call and the payloads come from one :meth:`GaloisField.matmul` —
+        this is the data-plane fast path for redundancy bursts and
+        repair emission.  It is bit-identical to ``count`` sequential
+        :meth:`next_packet` calls: numpy fills bounded-integer batches
+        element-by-element from the same bit stream, and when a batch
+        contains an all-zero coefficient row (whose inline resample
+        would shift the stream) the generator is rewound and the burst
+        replayed draw-for-draw.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        k = self.block_count
+        state = self._rng.bit_generator.state
+        coeffs = self.field.random_elements(self._rng, (count, k))
+        if not coeffs.any(axis=1).all():
+            # An all-zero row carries no information; the per-packet path
+            # resamples its first coefficient *inline*, consuming one
+            # extra draw mid-stream.  Rewind and replay sequentially so
+            # the burst stays stream-identical even in this rare case.
+            self._rng.bit_generator.state = state
+            for i in range(count):
+                row = self.field.random_elements(self._rng, k)
+                if not row.any():
+                    row[0] = self.field.random_nonzero(self._rng, 1)[0]
+                coeffs[i] = row
+        payloads = self.field.matmul(coeffs, self.generation.blocks)
+        packets = [
+            CodedPacket(
+                header=NCHeader(
+                    session_id=self.session_id,
+                    generation_id=self.generation.generation_id,
+                    coefficients=coeffs[i],
+                    systematic=False,
+                ),
+                payload=payloads[i],
+            )
+            for i in range(count)
+        ]
+        self._emitted += count
+        return packets
+
+    def next_packets(self, count: int) -> list[CodedPacket]:
+        """Produce the next ``count`` packets, batching the coded tail.
+
+        Systematic packets (when enabled and not yet exhausted) are
+        emitted one by one as before; everything after flows through
+        :meth:`coded_packets` in a single burst.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        out: list[CodedPacket] = []
+        k = self.block_count
+        while count > 0 and self.systematic and self._emitted < k:
+            out.append(self.next_packet())
+            count -= 1
+        if count > 0:
+            out.extend(self.coded_packets(count))
+        return out
+
     def packets(self, count: int) -> Iterator[CodedPacket]:
         """Yield ``count`` packets (systematic first, then coded)."""
         if count < 0:
@@ -140,5 +205,5 @@ def encode_message(
     out: list[CodedPacket] = []
     for gen in generations:
         enc = Encoder(session_id, gen, field=field, systematic=systematic, rng=rng)
-        out.extend(enc.packets(packets_per_generation))
+        out.extend(enc.next_packets(packets_per_generation))
     return out

@@ -36,6 +36,34 @@ FLAG_SYSTEMATIC = 0x01
 
 FIXED_HEADER_BYTES = _FIXED.size  # 8, as stated in the paper
 
+# Cached per-block-count wire structs: one pack call serializes the
+# fixed fields *and* the coefficient vector (k is tiny and stable per
+# session, so the cache stays a handful of entries).
+_WIRE_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _wire_struct(block_count: int) -> struct.Struct:
+    cached = _WIRE_STRUCTS.get(block_count)
+    if cached is None:
+        cached = struct.Struct(f"!HIBB{block_count}s")
+        _WIRE_STRUCTS[block_count] = cached
+    return cached
+
+
+# Whole-packet structs (header + payload), keyed by (k, payload bytes);
+# both are per-session constants, so the cache stays small.
+_PACKET_STRUCTS: dict[tuple[int, int], struct.Struct] = {}
+
+
+def packet_struct(block_count: int, payload_bytes: int) -> struct.Struct:
+    """Cached struct covering a full coded packet's wire image."""
+    key = (block_count, payload_bytes)
+    cached = _PACKET_STRUCTS.get(key)
+    if cached is None:
+        cached = struct.Struct(f"!HIBB{block_count}s{payload_bytes}s")
+        _PACKET_STRUCTS[key] = cached
+    return cached
+
 
 @dataclass(frozen=True, eq=False)
 class NCHeader:
@@ -88,24 +116,36 @@ class NCHeader:
         return FIXED_HEADER_BYTES + self.block_count
 
     def encode(self) -> bytes:
-        """Serialize to the wire format."""
+        """Serialize to the wire format — one cached-struct pack call."""
+        k = self.block_count
         flags = FLAG_SYSTEMATIC if self.systematic else 0
-        return _FIXED.pack(self.session_id, self.generation_id, self.block_count, flags) + self.coefficients.tobytes()
+        return _wire_struct(k).pack(self.session_id, self.generation_id, k, flags, self.coefficients.tobytes())
 
     @classmethod
-    def decode(cls, data: bytes) -> tuple["NCHeader", bytes]:
-        """Parse a header off the front of ``data``; returns (header, payload)."""
+    def decode_from(cls, data: bytes) -> tuple["NCHeader", int]:
+        """Parse a header at the front of ``data``; returns (header, payload offset).
+
+        The fast-path variant of :meth:`decode`: no payload slice is
+        materialized, so callers that hand the payload bytes straight to
+        numpy (``CodedPacket.decode``) skip one full-payload copy.
+        """
         if len(data) < FIXED_HEADER_BYTES:
             raise ValueError(f"short NC header: {len(data)} bytes")
         session_id, generation_id, k, flags = _FIXED.unpack_from(data)
         end = FIXED_HEADER_BYTES + k
         if len(data) < end:
             raise ValueError(f"truncated coefficient vector: want {k}, have {len(data) - FIXED_HEADER_BYTES}")
-        coeffs = np.frombuffer(data[FIXED_HEADER_BYTES:end], dtype=np.uint8).copy()
+        coeffs = np.frombuffer(data, dtype=np.uint8, count=k, offset=FIXED_HEADER_BYTES).copy()
         header = cls(
             session_id=session_id,
             generation_id=generation_id,
             coefficients=coeffs,
             systematic=bool(flags & FLAG_SYSTEMATIC),
         )
+        return header, end
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["NCHeader", bytes]:
+        """Parse a header off the front of ``data``; returns (header, payload)."""
+        header, end = cls.decode_from(data)
         return header, data[end:]

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 import numpy.typing as npt
 
-from repro.rlnc.header import NCHeader
+from repro.rlnc.header import FLAG_SYSTEMATIC, NCHeader, packet_struct
 
 
 @dataclass(eq=False)
@@ -47,14 +47,29 @@ class CodedPacket:
         return self.header.size_bytes + int(self.payload.shape[0])
 
     def encode(self) -> bytes:
-        """Serialize header and payload to bytes."""
-        return self.header.encode() + self.payload.tobytes()
+        """Serialize header and payload to bytes.
+
+        One pack call through a cached :class:`struct.Struct` covering
+        the whole wire image — no header-bytes + payload-bytes
+        concatenation on the hot path.
+        """
+        header = self.header
+        flags = FLAG_SYSTEMATIC if header.systematic else 0
+        return packet_struct(header.block_count, self.payload.nbytes).pack(
+            header.session_id,
+            header.generation_id,
+            header.block_count,
+            flags,
+            header.coefficients.tobytes(),
+            self.payload.tobytes(),
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "CodedPacket":
-        """Parse a serialized coded packet."""
-        header, rest = NCHeader.decode(data)
-        return cls(header=header, payload=np.frombuffer(rest, dtype=np.uint8).copy())
+        """Parse a serialized coded packet (no intermediate payload slice)."""
+        header, offset = NCHeader.decode_from(data)
+        payload = np.frombuffer(data, dtype=np.uint8, offset=offset).copy()
+        return cls(header=header, payload=payload)
 
     def __eq__(self, other: object) -> bool:
         return (

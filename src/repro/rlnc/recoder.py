@@ -41,13 +41,17 @@ class Recoder:
         self._rng = rng if rng is not None else derive_rng(
             "rlnc.recoder", session_id, generation_id
         )
-        self._coeffs: list[FieldArray] = []
-        self._payloads: list[FieldArray] = []
+        # Buffered state lives in one pre-grown matrix whose rows are
+        # [coefficients | payload], so a recode is a single batch matmul
+        # over a contiguous slab — no per-emit stacking of Python lists.
+        self._rows: FieldArray | None = None
+        self._payload_len = 0
+        self._count = 0
 
     @property
     def buffered(self) -> int:
         """Number of packets buffered for this generation."""
-        return len(self._coeffs)
+        return self._count
 
     def add(self, packet: CodedPacket) -> None:
         """Buffer a received coded packet."""
@@ -60,29 +64,75 @@ class Recoder:
             raise ValueError(
                 f"block count mismatch: packet has {packet.header.block_count}, recoder expects {self.block_count}"
             )
-        self._coeffs.append(packet.coefficients.astype(self.field.dtype))
-        self._payloads.append(packet.payload)
+        k = self.block_count
+        if self._rows is None:
+            self._payload_len = int(packet.payload.shape[0])
+            self._rows = np.empty((8, k + self._payload_len), dtype=self.field.dtype)
+        if packet.payload.shape[0] != self._payload_len:
+            raise ValueError(
+                f"payload is {packet.payload.shape[0]} bytes, earlier packets had {self._payload_len}"
+            )
+        if self._count == self._rows.shape[0]:
+            grown = np.empty((2 * self._rows.shape[0], self._rows.shape[1]), dtype=self.field.dtype)
+            grown[: self._count] = self._rows[: self._count]
+            self._rows = grown
+        row = self._rows[self._count]
+        row[:k] = packet.coefficients
+        row[k:] = packet.payload
+        self._count += 1
+
+    def _combine(self, weights: FieldArray) -> list[CodedPacket]:
+        """Turn weight rows into packets via one batch matmul."""
+        assert self._rows is not None
+        k = self.block_count
+        mixed = self.field.matmul(weights, self._rows[: self._count])
+        return [
+            CodedPacket(
+                header=NCHeader(
+                    session_id=self.session_id,
+                    generation_id=self.generation_id,
+                    coefficients=mixed[i, :k],
+                    systematic=False,
+                ),
+                payload=mixed[i, k:],
+            )
+            for i in range(weights.shape[0])
+        ]
 
     def recode(self) -> CodedPacket:
         """Emit one fresh combination of everything buffered so far."""
-        if not self._coeffs:
+        if not self._count:
             raise RuntimeError("cannot recode before any packet has been buffered")
-        weights = self.field.random_elements(self._rng, len(self._coeffs))
+        weights = self.field.random_elements(self._rng, self._count)
         if not weights.any():
             weights[-1] = self.field.random_nonzero(self._rng, 1)[0]
-        coeff_matrix = np.stack(self._coeffs)
-        payload_matrix = np.stack(self._payloads)
-        effective = self.field.linear_combination(weights, coeff_matrix)
-        payload = self.field.linear_combination(weights, payload_matrix)
-        return CodedPacket(
-            header=NCHeader(
-                session_id=self.session_id,
-                generation_id=self.generation_id,
-                coefficients=effective,
-                systematic=False,
-            ),
-            payload=payload,
-        )
+        return self._combine(weights[None, :])[0]
+
+    def recode_batch(self, count: int) -> list[CodedPacket]:
+        """Emit ``count`` fresh combinations through one batch matmul.
+
+        Draws every weight vector in a single RNG call; bit-identical to
+        ``count`` sequential :meth:`recode` calls.  When the batch holds
+        an all-zero weight row (whose inline resample would shift the
+        stream) the generator is rewound and the draws replayed
+        sequentially, so even that rare case matches draw-for-draw.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if not self._count:
+            raise RuntimeError("cannot recode before any packet has been buffered")
+        if count == 0:
+            return []
+        state = self._rng.bit_generator.state
+        weights = self.field.random_elements(self._rng, (count, self._count))
+        if not weights.any(axis=1).all():
+            self._rng.bit_generator.state = state
+            for i in range(count):
+                row = self.field.random_elements(self._rng, self._count)
+                if not row.any():
+                    row[-1] = self.field.random_nonzero(self._rng, 1)[0]
+                weights[i] = row
+        return self._combine(weights)
 
     def on_packet(self, packet: CodedPacket) -> CodedPacket:
         """Pipelined relay policy: buffer, then emit.

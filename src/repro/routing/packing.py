@@ -19,7 +19,7 @@ import itertools
 
 import networkx as nx
 
-from repro.lp import LinearProgram, Variable
+from repro.lp import LinearProgram, LinExpr, Variable
 from repro.routing.paths import Path, enumerate_feasible_paths
 
 
@@ -80,15 +80,15 @@ def tree_packing_solution(
         for edge in tree:
             by_edge.setdefault(edge, []).append(var)
     for edge, vars_on_edge in by_edge.items():
-        expr = vars_on_edge[0]
+        expr: Variable | LinExpr = vars_on_edge[0]
         for var in vars_on_edge[1:]:
             expr = expr + var
         lp.add_constraint(expr <= float(graph.edges[edge][capacity_attr]), name=f"cap[{edge}]")
-    total = tree_vars[0]
+    total: Variable | LinExpr = tree_vars[0]
     for var in tree_vars[1:]:
         total = total + var
     # A tiny preference for fewer edges breaks ties toward sparse trees.
-    objective = total
+    objective: Variable | LinExpr = total
     for var, tree in zip(tree_vars, trees):
         objective = objective - 1e-9 * len(tree) * var
     lp.maximize(objective)
@@ -123,11 +123,11 @@ def tree_packing_rate(
         for edge in tree:
             by_edge.setdefault(edge, []).append(var)
     for edge, vars_on_edge in by_edge.items():
-        expr = vars_on_edge[0]
+        expr: Variable | LinExpr = vars_on_edge[0]
         for var in vars_on_edge[1:]:
             expr = expr + var
         lp.add_constraint(expr <= float(graph.edges[edge][capacity_attr]), name=f"cap[{edge}]")
-    total = tree_vars[0]
+    total: Variable | LinExpr = tree_vars[0]
     for var in tree_vars[1:]:
         total = total + var
     lp.maximize(total)

@@ -1,0 +1,151 @@
+"""RL007 fixtures: forwarding-table text-format validation."""
+
+from tests.analysis.helpers import active_ids, lint
+
+SELECT = ["RL007"]
+
+
+class TestFires:
+    def test_bad_session_id_literal(self):
+        findings = lint(
+            """
+            from repro.core.forwarding import ForwardingTable
+
+            table = ForwardingTable.parse("notanumber a\\n")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL007"]
+        assert "bad session id" in findings[0].message
+
+    def test_duplicate_session_literal(self):
+        findings = lint(
+            """
+            from repro.core.forwarding import ForwardingTable
+
+            table = ForwardingTable.parse("1 a\\n1 b\\n")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL007"]
+        assert "duplicate session" in findings[0].message
+
+    def test_duplicate_hop_literal(self):
+        findings = lint(
+            """
+            from repro.core import forwarding
+
+            table = forwarding.ForwardingTable.parse("1 a a\\n")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL007"]
+
+    def test_multiline_string_reports_call_site(self):
+        findings = lint(
+            '''
+            from repro.core.forwarding import ForwardingTable
+
+            table = ForwardingTable.parse(
+                """
+                1 relay-a relay-b
+                oops relay-c
+                """
+            )
+            ''',
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL007"]
+        assert findings[0].line == 4
+
+
+class TestSilent:
+    def test_valid_literal(self):
+        findings = lint(
+            """
+            from repro.core.forwarding import ForwardingTable
+
+            table = ForwardingTable.parse("1 a b\\n2 c\\n# comment\\n")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_empty_literal(self):
+        findings = lint(
+            """
+            from repro.core.forwarding import ForwardingTable
+
+            table = ForwardingTable.parse("")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_dynamic_argument(self):
+        findings = lint(
+            """
+            from repro.core.forwarding import ForwardingTable
+
+            def load(path):
+                return ForwardingTable.parse(open(path).read())
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_fstring_argument(self):
+        findings = lint(
+            """
+            from repro.core.forwarding import ForwardingTable
+
+            def build(sid):
+                return ForwardingTable.parse(f"{sid} a b\\n")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_pytest_raises_block_exempt(self):
+        findings = lint(
+            """
+            import pytest
+
+            from repro.core.forwarding import ForwardingTable, ForwardingTableError
+
+            def test_rejects_garbage():
+                with pytest.raises(ForwardingTableError):
+                    ForwardingTable.parse("notanumber a\\n")
+                with pytest.raises(ForwardingTableError):
+                    ForwardingTable.parse("1 a\\n1 b\\n")
+            """,
+            path="tests/core/test_forwarding.py",
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_unrelated_parse_method(self):
+        findings = lint(
+            """
+            class Config:
+                @classmethod
+                def parse(cls, text):
+                    return cls()
+
+            conf = Config.parse("notanumber a\\n")
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_suppression_pragma(self):
+        findings = lint(
+            """
+            from repro.core.forwarding import ForwardingTable
+
+            table = ForwardingTable.parse("oops a\\n")  # repro-lint: disable=RL007
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+        assert [f.rule_id for f in findings if f.suppressed] == ["RL007"]

@@ -68,6 +68,47 @@ class TestCancellation:
         e1.cancel()
         assert scheduler.pending == 1
 
+    def test_double_cancel_counts_once(self, scheduler):
+        event = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert scheduler.pending == 1
+
+    def test_cancel_after_fire_is_noop(self, scheduler):
+        event = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.run(max_events=1)
+        assert scheduler.pending == 1
+        event.cancel()  # already fired; counters must not move
+        assert scheduler.pending == 1
+
+    def test_mass_cancellation_pending_and_drain(self, scheduler):
+        """Cancel 10k of 10k+5 events: pending stays exact, run() drains.
+
+        This exercises the O(1) pending counter and the heap compaction
+        path (cancelled entries heavily outnumber live ones).
+        """
+        fired = []
+        keep = []
+        cancel = []
+        for i in range(10_005):
+            if i % 2001 == 1000:  # 5 survivors spread through the heap
+                keep.append(scheduler.schedule(float(i), fired.append, i))
+            else:
+                cancel.append(scheduler.schedule(float(i), fired.append, i))
+        assert scheduler.pending == 10_005
+        for event in cancel:
+            event.cancel()
+        assert scheduler.pending == 5
+        # Compaction must have trimmed the underlying heap too.
+        assert len(scheduler._queue) < 100
+        scheduler.run()
+        assert fired == sorted(fired)
+        assert len(fired) == 5
+        assert scheduler.pending == 0
+        assert scheduler.processed == 5
+
 
 class TestRunUntil:
     def test_stops_at_until(self, scheduler):
