@@ -7,6 +7,7 @@ from repro.analysis.rules.rl004_signal_exhaustiveness import SignalExhaustivenes
 from repro.analysis.rules.rl005_mutable_defaults import MutableDefaultArgsRule
 from repro.analysis.rules.rl006_handler_purity import HandlerPurityRule
 from repro.analysis.rules.rl007_fwdtab_text_format import ForwardingTableFormatRule
+from repro.analysis.rules.rl008_measurement_windows import MeasurementWindowRule
 
 __all__ = [
     "UnseededRngRule",
@@ -16,4 +17,5 @@ __all__ = [
     "MutableDefaultArgsRule",
     "HandlerPurityRule",
     "ForwardingTableFormatRule",
+    "MeasurementWindowRule",
 ]

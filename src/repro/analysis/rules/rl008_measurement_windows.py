@@ -1,0 +1,90 @@
+"""RL008 — unclosed measurement windows.
+
+A started :class:`~repro.net.measurement.MeasurementService` reschedules
+its own ``_tick`` forever: every tick queues the next one.  A service
+that is started and never stopped therefore keeps the event scheduler
+non-empty for the rest of the run — ``topology.run()`` with no horizon
+never drains, and in tests the leaked periodic events bleed samples past
+the window the assertion thinks it measured.
+
+The statically checkable shape is the *scope-local* window: a function
+that constructs a ``MeasurementService``, calls ``.start()`` on it, and
+never calls ``.stop()`` on the same receiver in that scope.  Services
+whose lifecycle genuinely spans scopes (constructed in ``__init__``,
+started and stopped from different methods) are not flagged — the rule
+only fires when the whole window is visible in one scope and visibly
+left open.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name, dotted_name, last_component
+from repro.analysis.engine import SourceModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, register
+
+_SERVICE_NAME = "MeasurementService"
+
+#: Scope boundaries: nodes whose bodies belong to a different scope.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _iter_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope's statements without descending into nested scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue  # nested scope: its body is someone else's window
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class MeasurementWindowRule(ModuleRule):
+    rule_id = "RL008"
+    name = "measurement-windows"
+    description = "MeasurementService started but never stopped in the same scope"
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        yield from self._check_scope(module.tree.body, module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(node.body, module)
+
+    def _check_scope(self, body: list[ast.stmt], module: SourceModule) -> Iterator[Finding]:
+        constructed: set[str] = set()
+        started: dict[str, ast.Call] = {}
+        stopped: set[str] = set()
+        for node in _iter_scope(body):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                qualified = call_name(node.value, module.aliases)
+                if qualified is not None and last_component(qualified) == _SERVICE_NAME:
+                    for target in node.targets:
+                        receiver = dotted_name(target)
+                        if receiver is not None:
+                            constructed.add(receiver)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = dotted_name(node.func.value)
+                if receiver is None:
+                    continue
+                if node.func.attr == "start":
+                    started.setdefault(receiver, node)
+                elif node.func.attr == "stop":
+                    stopped.add(receiver)
+        for receiver, call in started.items():
+            if receiver in constructed and receiver not in stopped:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=module.posix_path,
+                    line=getattr(call, "lineno", 1),
+                    col=getattr(call, "col_offset", 0),
+                    message=(
+                        f"{receiver}.start() opens a measurement window that this scope "
+                        f"never closes: an un-stopped MeasurementService reschedules "
+                        f"itself forever — call {receiver}.stop() before the scope ends"
+                    ),
+                )

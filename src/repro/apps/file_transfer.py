@@ -48,7 +48,7 @@ from repro.net.packet import Datagram
 from repro.rlnc.decoder import Decoder
 from repro.rlnc.encoder import Encoder
 from repro.rlnc.generation import Generation
-from repro.rlnc.header import NCHeader
+from repro.rlnc.header import FIXED_HEADER_BYTES, NCHeader
 from repro.rlnc.packet import CodedPacket
 from repro.util.rng import derive_rng
 
@@ -137,7 +137,7 @@ class NcSourceApp:
         config = session.coding
         self._gen_interval_s = config.generation_bytes * 8 / (data_rate_mbps * 1e6)
         # Logical wire size of one NC packet (header + full block).
-        self._packet_payload_bytes = config.block_bytes + 8 + config.blocks_per_generation
+        self._packet_payload_bytes = config.block_bytes + FIXED_HEADER_BYTES + config.blocks_per_generation
         self._effective_block_bytes = 4 if payload_mode == "coefficients-only" else config.block_bytes
         self._cache: "OrderedDict[int, Generation]" = OrderedDict()
         self._cache_limit = cache_generations
@@ -406,6 +406,7 @@ class NcReceiverApp:
         nack_retry_max_s: float = 3.2,
         max_nacks_per_generation: int = 8,
         ack_immediately: bool = False,
+        retain_decoded: bool = False,
     ):
         if nack_backoff < 1.0:
             raise ValueError("nack_backoff must be >= 1 (retry intervals cannot shrink)")
@@ -425,8 +426,11 @@ class NcReceiverApp:
         self._block_bytes = 4 if payload_mode == "coefficients-only" else config.block_bytes
         self._decoders: dict[int, Decoder] = {}
         self.completed: dict[int, float] = {}  # generation id -> completion time
+        self.retain_decoded = retain_decoded
+        self.decoded_generations: dict[int, Generation] = {}  # only when retain_decoded
         self.received_packets = 0
         self.redundant_packets = 0
+        self.corrupt_dropped = 0
         self.nacks_sent = 0
         self.highest_seen = -1
         self._last_packet_at = -1e9
@@ -442,6 +446,12 @@ class NcReceiverApp:
     def _on_packet(self, dgram: Datagram) -> None:
         packet = dgram.payload
         if not isinstance(packet, CodedPacket) or packet.session_id != self.session.session_id:
+            return
+        if not packet.verify():
+            # Bit-flipped in flight: dropping it turns corruption into
+            # plain loss, which the NACK-repair machinery below already
+            # heals — the decoder never sees a polluted row.
+            self.corrupt_dropped += 1
             return
         self.received_packets += 1
         self._last_packet_at = self.node.scheduler.now
@@ -464,6 +474,11 @@ class NcReceiverApp:
             self.redundant_packets += 1
         if decoder.complete:
             self.completed[gen_id] = self.node.scheduler.now
+            if self.retain_decoded:
+                # Integrity assertions compare these bit-for-bit against
+                # the source's generations (tests only; throughput runs
+                # leave retention off to keep memory flat).
+                self.decoded_generations[gen_id] = decoder.decode()
             del self._decoders[gen_id]
             self._nack_state.pop(gen_id, None)
             self._advance_cum_ack()
@@ -701,7 +716,7 @@ class StripedSourceApp:
         self._total_rate = sum(rate for _, rate in self.trees)
         config = session.coding
         self._gen_interval_s = config.generation_bytes * 8 / (data_rate_mbps * 1e6)
-        self._packet_payload_bytes = config.block_bytes + 8 + config.blocks_per_generation
+        self._packet_payload_bytes = config.block_bytes + FIXED_HEADER_BYTES + config.blocks_per_generation
         self._effective_block_bytes = 4 if payload_mode == "coefficients-only" else config.block_bytes
         self.sent_generations = 0
         self._running = False

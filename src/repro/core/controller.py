@@ -158,6 +158,10 @@ class Controller:
         self.decompositions: dict[int, FlowDecomposition] = {}
         self.fleet: dict[str, FleetState] = {name: FleetState() for name in self.datacenters}
         self.solves = 0
+        # Monotonic config epoch, bumped on every stored plan and
+        # stamped onto NC_FORWARD_TAB/NC_SETTINGS so daemons can reject
+        # deliveries delayed from before a later replan (DESIGN.md §11).
+        self.config_epoch = 0
 
         # Failure handling (opt-in via enable_failure_detection).
         self.monitor: HeartbeatMonitor | None = None
@@ -212,6 +216,7 @@ class Controller:
         self.lambdas.update(plan.lambdas)
         self.decompositions.update(plan.decompositions)
         self.solves += 1
+        self.config_epoch += 1
 
     # -- session lifecycle (entry points used by the scaling engine) -----------
 
@@ -481,7 +486,9 @@ class Controller:
         """Send NC_FORWARD_TAB to every node with a table; returns count."""
         tables = self.forwarding_tables()
         for node, table in tables.items():
-            self.bus.send(NcForwardTab(target=node, table_text=table.serialize()))
+            self.bus.send(
+                NcForwardTab(target=node, table_text=table.serialize(), epoch=self.config_epoch)
+            )
         return len(tables)
 
     def push_settings(self, session: MulticastSession, node_roles: dict, udp_port: int = 52017) -> None:
@@ -495,6 +502,7 @@ class Controller:
                     udp_port=udp_port,
                     generation_bytes=session.coding.generation_bytes,
                     block_bytes=session.coding.block_bytes,
+                    epoch=self.config_epoch,
                 )
             )
 

@@ -19,6 +19,15 @@ the amnesia a real supervisor restart has.
 When ``heartbeat_interval_s`` is set, the daemon emits periodic
 ``NC_HEARTBEAT`` signals to the controller; the controller's failure
 detector declares the VNF dead after a configurable number of misses.
+
+Staleness defense (DESIGN.md §11): the bus delivers at-least-once and
+possibly out of order (retries, fault-hook delays), so the daemon keeps
+the highest config epoch it has applied and rejects older
+``NC_FORWARD_TAB``/``NC_SETTINGS`` (``stale_rejected``), and it
+remembers recently seen ``signal_id``s so a re-delivered signal is
+acted on exactly once (``duplicate_dropped``).  Both defenses die with
+the process — a restarted daemon accepts whatever epoch the controller
+sends next, matching real supervisor-restart amnesia.
 """
 
 from __future__ import annotations
@@ -43,6 +52,11 @@ VNF_START_LATENCY_S = 0.37621  # measured average in §V-C5
 
 CONTROLLER_NAME = "controller"  # the bus address failure reports go to
 
+#: Upper bound on remembered signal_ids for delivery dedup.  Re-delivery
+#: windows are short (bus retries span ~a second), so a small bounded
+#: set is plenty; the cap only exists to keep long soaks memory-flat.
+SEEN_SIGNALS_LIMIT = 512
+
 
 class VnfDaemon:
     """Control-plane agent colocated with one coding VNF."""
@@ -51,15 +65,15 @@ class VnfDaemon:
         self,
         vnf: CodingVnf,
         bus: SignalBus,
-        session_configs: dict | None = None,
+        session_configs: dict[int, CodingConfig] | None = None,
         on_shutdown: Callable[["VnfDaemon"], None] | None = None,
         vnf_start_latency_s: float = VNF_START_LATENCY_S,
         heartbeat_interval_s: float | None = None,
         controller_name: str = CONTROLLER_NAME,
-    ):
+    ) -> None:
         self.vnf = vnf
         self.bus = bus
-        self.session_configs = dict(session_configs or {})  # session_id -> CodingConfig
+        self.session_configs = dict(session_configs or {})
         self.on_shutdown = on_shutdown
         self.vnf_start_latency_s = vnf_start_latency_s
         self.heartbeat_interval_s = heartbeat_interval_s
@@ -73,6 +87,11 @@ class VnfDaemon:
         self.applied_tables = 0
         self.total_pause_s = 0.0
         self.heartbeats_sent = 0
+        # Staleness / duplicate defense (per daemon process lifetime).
+        self.config_epoch = 0
+        self.stale_rejected = 0
+        self.duplicate_dropped = 0
+        self._seen_signal_ids: dict[int, None] = {}  # insertion-ordered bounded set
         self._heartbeat: PeriodicEvent | None = None
         bus.register(vnf.name, self.handle_signal)
         self._start_heartbeat()
@@ -123,6 +142,10 @@ class VnfDaemon:
             return
         self.alive = True
         self.restarts += 1
+        # Process amnesia: a fresh daemon has no epoch memory and no
+        # dedup window — it accepts whatever the controller sends next.
+        self.config_epoch = 0
+        self._seen_signal_ids.clear()
         self.bus.register(self.vnf.name, self.handle_signal)
         self._start_heartbeat()
 
@@ -131,6 +154,12 @@ class VnfDaemon:
     def handle_signal(self, signal: Signal) -> None:
         if not self.alive:
             return  # a racing delivery to a corpse
+        if self._already_seen(signal):
+            # At-least-once delivery re-sent a signal this process
+            # already acted on: applying a forwarding table (and paying
+            # its pause) twice is not idempotent, so drop the re-run.
+            self.duplicate_dropped += 1
+            return
         if isinstance(signal, NcSettings):
             self._on_settings(signal)
         elif isinstance(signal, NcForwardTab):
@@ -141,7 +170,30 @@ class VnfDaemon:
             pass  # meaningful to source applications; a relay VNF is driven by traffic
         # NC_VNF_START and NC_HEARTBEAT are consumed by the controller.
 
+    def _already_seen(self, signal: Signal) -> bool:
+        if signal.signal_id in self._seen_signal_ids:
+            return True
+        self._seen_signal_ids[signal.signal_id] = None
+        while len(self._seen_signal_ids) > SEEN_SIGNALS_LIMIT:
+            self._seen_signal_ids.pop(next(iter(self._seen_signal_ids)))
+        return False
+
+    def _accepts_epoch(self, epoch: int) -> bool:
+        """True when a config signal is current; counts stale rejections.
+
+        Equal epochs are accepted — distinct signals of one controller
+        push (table + settings) share an epoch, and epoch-0 senders that
+        predate the epoch protocol keep working.
+        """
+        if epoch < self.config_epoch:
+            self.stale_rejected += 1
+            return False
+        self.config_epoch = epoch
+        return True
+
     def _on_settings(self, signal: NcSettings) -> None:
+        if not self._accepts_epoch(signal.epoch):
+            return
         for session_id, role_name in signal.roles:
             config = self.session_configs.get(session_id, CodingConfig())
             self.vnf.configure_session(session_id, VnfRole(role_name), config)
@@ -162,6 +214,8 @@ class VnfDaemon:
             self._apply_table(table)
 
     def _on_forward_tab(self, signal: NcForwardTab) -> None:
+        if not self._accepts_epoch(signal.epoch):
+            return  # pre-replan table delayed past a newer config: discard
         table = ForwardingTable.parse(signal.table_text)
         if not self.function_running:
             self.pending_table = table  # applied as soon as the function is up

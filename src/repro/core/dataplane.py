@@ -71,6 +71,18 @@ class LiveDeployment:
             raise KeyError(f"no receivers for session {session_id}")
         return min(rates)
 
+    def corrupt_dropped(self) -> int:
+        """Corrupt packets dropped across every VNF and receiver.
+
+        The pollution-containment invariant (DESIGN.md §11): on a dirty
+        wire this is positive while decoded generations stay
+        bit-identical — corruption died at a verification gate instead
+        of reaching Gaussian elimination.
+        """
+        total = sum(vnf.corrupt_dropped for vnfs in self.vnfs.values() for vnf in vnfs)
+        total += sum(app.corrupt_dropped for app in self.receivers.values())
+        return total
+
 
 def build_data_plane(
     plan: DeploymentPlan,

@@ -15,6 +15,7 @@ reproduce Tab. III.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 class ForwardingTableError(ValueError):
@@ -25,9 +26,9 @@ class ForwardingTableError(ValueError):
 class ForwardingTable:
     """Per-session next hops: session id → ordered list of next-hop names."""
 
-    entries: dict = field(default_factory=dict)  # session_id -> list[str]
+    entries: dict[int, list[str]] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         normalized: dict[int, list[str]] = {}
         for session_id, hops in self.entries.items():
             hops = list(hops)
@@ -52,7 +53,7 @@ class ForwardingTable:
 
     # -- mutation -----------------------------------------------------------
 
-    def set_next_hops(self, session_id: int, hops: list) -> None:
+    def set_next_hops(self, session_id: int, hops: Iterable[str]) -> None:
         hops = list(hops)
         if len(set(hops)) != len(hops):
             raise ForwardingTableError(f"duplicate next hop for session {session_id}: {hops}")

@@ -26,6 +26,23 @@ every attempt fails, recorded on ``SignalBus.undeliverable`` with
 ``status="undeliverable"`` instead of vanishing without trace.  The
 fault injector can interpose on deliveries through ``fault_hook`` to
 drop or delay individual signals deterministically.
+
+Staleness defense (DESIGN.md §11): retries and fault-hook delays mean
+delivery is at-least-once and out-of-order.  Two fields make that safe:
+
+- every signal carries a process-unique ``signal_id`` so daemons can
+  drop re-deliveries of a signal they already acted on (idempotent
+  at-least-once), and
+- configuration signals (``NC_FORWARD_TAB``/``NC_SETTINGS``) carry the
+  controller's monotonically increasing ``epoch``; a daemon rejects any
+  config older than the newest it has applied, so a pre-failure table
+  delayed across a healing replan cannot clobber the recovery state.
+
+``signal_id`` is excluded from equality/repr so signal values compare
+by content and experiment fingerprints stay stable; ``epoch`` defaults
+to 0, which pre-epoch senders (tests, ad-hoc pushes) can keep using —
+an epoch-0 signal is never *older* than an applied epoch-0 config, it
+ties, and ties are accepted.
 """
 
 from __future__ import annotations
@@ -37,13 +54,21 @@ from typing import Callable
 from repro.net.events import EventScheduler
 
 _signal_seq = itertools.count(1)
+_signal_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
 class Signal:
-    """Base class: every signal is addressed to a daemon by node name."""
+    """Base class: every signal is addressed to a daemon by node name.
+
+    ``signal_id`` is a process-unique delivery-dedup token: at-least-once
+    retry machinery may deliver the same signal twice, and daemons use
+    the id to act on it exactly once.  It is excluded from ``==`` and
+    ``repr`` so signals still compare by content.
+    """
 
     target: str
+    signal_id: int = field(default_factory=lambda: next(_signal_ids), compare=False, repr=False)
 
     @property
     def kind(self) -> str:
@@ -75,9 +100,14 @@ class NcVnfEnd(Signal):
 
 @dataclass(frozen=True)
 class NcForwardTab(Signal):
-    """Push a new forwarding table (serialized text, §III-A)."""
+    """Push a new forwarding table (serialized text, §III-A).
+
+    ``epoch`` is the controller's config epoch at send time; daemons
+    reject tables older than the newest config they have applied.
+    """
 
     table_text: str = ""
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -88,12 +118,13 @@ class NcSettings(Signal):
     merge points: ((session_id, next_hop, skip_arrivals), ...).
     """
 
-    session_ids: tuple = ()
-    roles: tuple = ()  # (session_id, role) pairs
+    session_ids: tuple[int, ...] = ()
+    roles: tuple[tuple[int, str], ...] = ()  # (session_id, role) pairs
     udp_port: int = 0
     generation_bytes: int = 0
     block_bytes: int = 0
-    shapes: tuple = ()
+    shapes: tuple[tuple[int, str, int], ...] = ()
+    epoch: int = 0  # controller config epoch; stale settings are rejected
 
 
 @dataclass(frozen=True)
@@ -138,7 +169,7 @@ class SignalBus:
         latency_s: float = 0.05,
         max_retries: int = 3,
         retry_interval_s: float = 0.25,
-    ):
+    ) -> None:
         if latency_s < 0:
             raise ValueError("latency cannot be negative")
         if max_retries < 0:

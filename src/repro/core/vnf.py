@@ -107,6 +107,10 @@ class CodingVnf(Node):
         self.processed_packets = 0
         self.emitted_packets = 0
         self.decoded_generations = 0
+        # Dirty-wire containment counters (DESIGN.md §11).
+        self.corrupt_dropped = 0
+        self.duplicate_dropped = 0
+        self.stale_dropped = 0
 
         self.listen(NC_PORT, self._on_data)
 
@@ -263,6 +267,14 @@ class CodingVnf(Node):
         self.scheduler.schedule_at(finish, self._handle_packet, packet, dgram.payload_bytes)
 
     def _handle_packet(self, packet: CodedPacket, payload_bytes: int) -> None:
+        if not packet.verify():
+            # Bit-flipped in flight: drop before it can reach a recoder
+            # or decoder.  One polluted packet mixed into a recode would
+            # contaminate every downstream derivative (classic RLNC
+            # pollution); dropped here it degrades into plain loss,
+            # which the NACK-repair path already heals.
+            self.corrupt_dropped += 1
+            return
         self.processed_packets += 1
         role = self.roles[packet.session_id]
         if role is VnfRole.FORWARDER:
@@ -284,8 +296,13 @@ class CodingVnf(Node):
         key = (original.session_id, original.generation_id)
         recoder = self._recoders.get(key)
         if recoder is None or original.generation_id not in buffer:
-            # New generation (or evicted): fresh recoder; FIFO-evict via
-            # the buffer, and drop the evicted generation's recoder.
+            # New generation (or evicted): the buffer arbitrates first —
+            # a straggler for an already-evicted generation is refused
+            # rather than allowed to evict live state for a dead one.
+            before = set(buffer.generations())
+            if not buffer.add(original.generation_id, original):
+                self.stale_dropped += 1
+                return
             recoder = Recoder(
                 original.session_id,
                 original.generation_id,
@@ -294,15 +311,16 @@ class CodingVnf(Node):
                 rng=self._rng,
             )
             self._recoders[key] = recoder
-            before = set(buffer.generations())
-            buffer.add(original.generation_id, original)
             evicted = before - set(buffer.generations())
             for gen_id in evicted:
                 self._recoders.pop((original.session_id, gen_id), None)
                 for key in [k for k in self._hop_progress if k[0] == original.session_id and k[2] == gen_id]:
                     del self._hop_progress[key]
-        else:
-            buffer.add(original.generation_id, original)
+        elif not buffer.add(original.generation_id, original):
+            # A wire-duplicated copy adds no degree of freedom: emitting
+            # a recode for it would just burn downstream bandwidth.
+            self.duplicate_dropped += 1
+            return
         first = recoder.buffered == 0
         recoder.add(original)
         for hop in self.forwarding_table.next_hops(original.session_id):

@@ -158,8 +158,14 @@ def run_chaos_session(
     blocks_per_generation: int = 4,
     relay_repair: bool = True,
     plan: FaultPlan | None = None,
+    impairments: bool = False,
 ) -> ChaosOutcome:
-    """One seeded chaos run: random survivable plan × live transfer."""
+    """One seeded chaos run: random survivable plan × live transfer.
+
+    ``impairments`` extends the fault menu with dirty-wire faults
+    (bit-flip corruption, duplication, blackholes) on top of the clean
+    loss/crash/signal menu — the CI dirty-seed batch sets it.
+    """
     if plan is None:
         plan = FaultPlan.random(
             seed,
@@ -169,6 +175,7 @@ def run_chaos_session(
             signal_kinds=SIGNAL_KINDS,
             max_faults=max_faults,
             max_outage_s=max_outage_s,
+            impairments=impairments,
         )
     result = run_butterfly_failover(
         fail_at_s=fault_window_s / 2,  # metadata only; the plan drives injection
@@ -244,6 +251,11 @@ def main(argv=None) -> int:
     parser.add_argument("--replay", action="store_true", help="re-run each seed and compare fingerprints")
     parser.add_argument("--generations", type=int, default=48, help="generations per transfer")
     parser.add_argument("--deadline", type=float, default=6.0, help="per-run deadline (sim seconds)")
+    parser.add_argument(
+        "--impairments",
+        action="store_true",
+        help="add dirty-wire faults (corruption, duplication, blackholes) to the menu",
+    )
     parser.add_argument("--json", type=str, default=None, help="write the summary JSON here")
     args = parser.parse_args(argv)
 
@@ -252,6 +264,7 @@ def main(argv=None) -> int:
         replay=args.replay,
         total_generations=args.generations,
         deadline_s=args.deadline,
+        impairments=args.impairments,
     )
     summary = soak_summary(outcomes)
     if args.json:

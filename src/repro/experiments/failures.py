@@ -131,6 +131,7 @@ def run_butterfly_failover(
     recover: bool = True,
     relay_repair: bool = False,
     total_generations: int | None = None,
+    retain_decoded: bool = False,
     seed: int = 7,
 ) -> FailoverResult:
     """Crash a relay node mid-transfer; detect, re-optimize, keep decoding.
@@ -143,6 +144,9 @@ def run_butterfly_failover(
     their buffered coded state in addition to forwarding them upstream.
     ``total_generations`` bounds the transfer (a completable file) so
     callers can assert it finishes; ``None`` streams for the whole run.
+    ``retain_decoded=True`` keeps every decoded generation on the
+    receivers so integrity tests can compare payloads against the
+    source cache bit for bit.
 
     Recovery is a full re-optimization, not table pruning: on each death
     verdict :func:`repro.core.healing.plan_recovery` re-runs the
@@ -207,7 +211,13 @@ def run_butterfly_failover(
     result.control_relays = control_relays
 
     receivers = {
-        name: NcReceiverApp(topo.get(name), session, payload_mode=payload_mode, ack_to=CONTROL_PATHS[name][1])
+        name: NcReceiverApp(
+            topo.get(name),
+            session,
+            payload_mode=payload_mode,
+            ack_to=CONTROL_PATHS[name][1],
+            retain_decoded=retain_decoded,
+        )
         for name in RECEIVERS
     }
     source = NcSourceApp(
@@ -222,6 +232,12 @@ def run_butterfly_failover(
     )
 
     static_shapes = _nc_hop_shapes(blocks_per_generation, 0)
+
+    # Each healing replan gets a fresh config epoch (> 0, the epoch of
+    # the static pre-failure config), so a pre-failure NC_FORWARD_TAB
+    # delayed across the replan is rejected by the daemons instead of
+    # clobbering the recovery tables.
+    recovery_epoch = [0]
 
     def _on_dead(name: str) -> None:
         if result.detected_at is None:
@@ -244,9 +260,11 @@ def run_butterfly_failover(
         result.recovery_plans.append(recovery)
         if not recovery.feasible:
             return  # typed outcome: no surviving route; ARQ alone from here
+        recovery_epoch[0] += 1
+        epoch = recovery_epoch[0]
         for relay, table in sorted(recovery.tables.items()):
             if bus.is_registered(relay):
-                bus.send(NcForwardTab(target=relay, table_text=table.serialize()))
+                bus.send(NcForwardTab(target=relay, table_text=table.serialize(), epoch=epoch))
         # Hop shapes: the plan covers every (relay, hop) it routes —
         # zero entries clear stale merge shapes.  Statically installed
         # shapes on hops the new plan does not route get explicit clears
@@ -262,7 +280,10 @@ def run_butterfly_failover(
             if bus.is_registered(relay):
                 bus.send(
                     NcSettings(
-                        target=relay, session_ids=(session.session_id,), shapes=tuple(sorted(shapes))
+                        target=relay,
+                        session_ids=(session.session_id,),
+                        shapes=tuple(sorted(shapes)),
+                        epoch=epoch,
                     )
                 )
         source.reconfigure(

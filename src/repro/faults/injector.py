@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.net.events import EventScheduler
+from repro.net.impairments import BitFlipCorruption, Blackhole, Duplication
 from repro.net.loss import UniformLoss
 
 if TYPE_CHECKING:  # imports only for type checkers; no runtime cycle
@@ -126,7 +127,15 @@ class FaultInjector:
         kind, target = event.kind, event.target
         if kind is FaultKind.VM_CRASH and target not in self._vms:
             raise FaultTargetError(f"no VM registered as {target!r}")
-        if kind in (FaultKind.LINK_DOWN, FaultKind.LINK_UP, FaultKind.LINK_DEGRADE):
+        if kind in (
+            FaultKind.LINK_DOWN,
+            FaultKind.LINK_UP,
+            FaultKind.LINK_DEGRADE,
+            FaultKind.LINK_CORRUPT,
+            FaultKind.LINK_DUPLICATE,
+            FaultKind.LINK_BLACKHOLE,
+            FaultKind.LINK_CLEAR,
+        ):
             if target not in self._links:
                 raise FaultTargetError(f"no link registered as {target!r}")
         if kind in (FaultKind.DAEMON_KILL, FaultKind.DAEMON_RESTART):
@@ -151,6 +160,16 @@ class FaultInjector:
         elif kind is FaultKind.LINK_DEGRADE:
             assert event.param is not None  # enforced by FaultEvent validation
             self._links[target].set_loss(UniformLoss(event.param))
+        elif kind is FaultKind.LINK_CORRUPT:
+            assert event.param is not None
+            self._links[target].add_impairment(BitFlipCorruption(event.param))
+        elif kind is FaultKind.LINK_DUPLICATE:
+            assert event.param is not None
+            self._links[target].add_impairment(Duplication(event.param))
+        elif kind is FaultKind.LINK_BLACKHOLE:
+            self._links[target].add_impairment(Blackhole())
+        elif kind is FaultKind.LINK_CLEAR:
+            self._links[target].clear_impairments()
         elif kind is FaultKind.DAEMON_KILL:
             self._daemons[target].kill()
         elif kind is FaultKind.DAEMON_RESTART:

@@ -22,6 +22,10 @@ class FaultKind(enum.Enum):
     LINK_DOWN = "link-down"
     LINK_UP = "link-up"
     LINK_DEGRADE = "link-degrade"
+    LINK_CORRUPT = "link-corrupt"      # bit-flip corruption at a packet rate
+    LINK_DUPLICATE = "link-duplicate"  # wire duplication at a packet rate
+    LINK_BLACKHOLE = "link-blackhole"  # silent one-direction swallow
+    LINK_CLEAR = "link-clear"          # detach every impairment
     DAEMON_KILL = "daemon-kill"
     DAEMON_RESTART = "daemon-restart"
     SIGNAL_DROP = "signal-drop"
@@ -55,6 +59,9 @@ class FaultEvent:
         if self.kind is FaultKind.LINK_DEGRADE:
             if self.param is None or not (0.0 <= self.param <= 1.0):
                 raise ValueError("LINK_DEGRADE needs a loss probability in [0, 1]")
+        if self.kind in (FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE):
+            if self.param is None or not (0.0 <= self.param <= 1.0):
+                raise ValueError(f"{self.kind.value} needs a packet rate in [0, 1]")
 
 
 class FaultPlan:
@@ -101,13 +108,21 @@ class FaultPlan:
         signal_kinds: Sequence[str] = (),
         max_faults: int = 4,
         max_outage_s: float = 0.5,
+        impairments: bool = False,
     ) -> "FaultPlan":
         """Draw a seeded random plan over the given target pools.
 
         Disruptive-but-survivable by construction: every LINK_DOWN is
-        paired with a later LINK_UP and every DAEMON_KILL with a later
-        DAEMON_RESTART, so a random plan never leaves the topology
-        permanently partitioned.  Same seed, same pools → same plan.
+        paired with a later LINK_UP, every DAEMON_KILL with a later
+        DAEMON_RESTART, and every dirty-wire impairment with a later
+        LINK_CLEAR, so a random plan never leaves the topology
+        permanently partitioned or permanently dirty.  Same seed, same
+        pools → same plan.
+
+        ``impairments`` is opt-in: enabling it extends the fault menu
+        with LINK_CORRUPT / LINK_DUPLICATE / LINK_BLACKHOLE, which
+        changes the draw sequence — plans generated with it off are
+        bit-identical to plans from before impairments existed.
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
@@ -119,6 +134,8 @@ class FaultPlan:
             menu.append(FaultKind.VM_CRASH)
         if links:
             menu += [FaultKind.LINK_DOWN, FaultKind.LINK_DEGRADE]
+            if impairments:
+                menu += [FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE, FaultKind.LINK_BLACKHOLE]
         if daemons:
             menu.append(FaultKind.DAEMON_KILL)
         if signal_kinds:
@@ -141,6 +158,17 @@ class FaultPlan:
                 link = links[int(rng.integers(0, len(links)))]
                 loss = float(rng.uniform(0.05, 0.3))
                 events.append(FaultEvent(at, kind, link, param=loss))
+            elif kind in (FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE):
+                link = links[int(rng.integers(0, len(links)))]
+                rate = float(rng.uniform(0.01, 0.2))
+                window = float(rng.uniform(0.05, max_outage_s))
+                events.append(FaultEvent(at, kind, link, param=rate))
+                events.append(FaultEvent(at + window, FaultKind.LINK_CLEAR, link))
+            elif kind is FaultKind.LINK_BLACKHOLE:
+                link = links[int(rng.integers(0, len(links)))]
+                window = float(rng.uniform(0.05, max_outage_s))
+                events.append(FaultEvent(at, kind, link))
+                events.append(FaultEvent(at + window, FaultKind.LINK_CLEAR, link))
             elif kind is FaultKind.DAEMON_KILL:
                 daemon = daemons[int(rng.integers(0, len(daemons)))]
                 outage = float(rng.uniform(0.05, max_outage_s))

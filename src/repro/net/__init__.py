@@ -11,6 +11,9 @@ equivalent (DESIGN.md §2):
   propagation delay, a drop-tail queue and a pluggable loss model.
 - :mod:`repro.net.loss` — i.i.d. and burst (netem-correlation-style)
   loss models used for Fig. 8 / Fig. 9.
+- :mod:`repro.net.impairments` — dirty-wire models (bit-flip
+  corruption, duplication, blackholes) composable with the loss models
+  (DESIGN.md §11).
 - :mod:`repro.net.node` — simulated hosts and the node interface the
   coding VNFs plug into.
 - :mod:`repro.net.buffer` — the per-session FIFO generation buffer
@@ -25,6 +28,13 @@ equivalent (DESIGN.md §2):
 
 from repro.net.buffer import GenerationBuffer
 from repro.net.events import Event, EventScheduler
+from repro.net.impairments import (
+    BitFlipCorruption,
+    Blackhole,
+    Duplication,
+    Impairment,
+    corrupt_coded_packet,
+)
 from repro.net.link import Link
 from repro.net.loss import BurstLoss, CompositeLoss, LossModel, NoLoss, UniformLoss
 from repro.net.measurement import (
@@ -51,6 +61,11 @@ __all__ = [
     "UniformLoss",
     "BurstLoss",
     "CompositeLoss",
+    "Impairment",
+    "BitFlipCorruption",
+    "Duplication",
+    "Blackhole",
+    "corrupt_coded_packet",
     "Node",
     "Host",
     "GenerationBuffer",

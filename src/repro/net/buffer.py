@@ -7,6 +7,14 @@ is counted in *generations per session*; when a session's buffer is
 full, the oldest generation's packets are discarded (FIFO) to make
 room.  Fig. 5 finds 1024 generations per session sufficient — larger
 buffers gain little — so that is the default.
+
+Dirty-wire hardening (DESIGN.md §11): the wire may *duplicate* packets
+and deliver arbitrarily late stragglers.  Duplicates must not inflate
+``stored_packets`` (each copy of the same packet adds no degree of
+freedom, and double-counting would make eviction accounting lie), and a
+straggler for a generation that was already evicted must not re-open a
+bucket — that would evict a *live* generation to store a dead one.
+Both are rejected by :meth:`add` returning ``False``.
 """
 
 from __future__ import annotations
@@ -27,6 +35,11 @@ class GenerationBuffer:
         self._generations: OrderedDict[int, list[Any]] = OrderedDict()
         self.evicted_generations = 0
         self.stored_packets = 0
+        self.duplicate_packets = 0
+        self.rejected_stale = 0
+        # Highest generation id ever evicted: stragglers at or below it
+        # are dead and must not displace live generations.
+        self._highest_evicted = -1
 
     def __len__(self) -> int:
         """Number of generations currently buffered."""
@@ -44,18 +57,30 @@ class GenerationBuffer:
         return self._generations.get(generation_id, [])
 
     def add(self, generation_id: int, packet: Any) -> bool:
-        """Store a packet; returns False if its generation was just evicted.
+        """Store a packet; returns False if it was rejected.
 
         Inserting a *new* generation when the buffer is full evicts the
         oldest buffered generation first (FIFO, per the paper).  Packets
-        for an already-buffered generation always fit.
+        for an already-buffered generation always fit, but an exact
+        duplicate of a stored packet is dropped (``duplicate_packets``),
+        and a straggler for an already-evicted generation id is refused
+        rather than allowed to evict a live generation
+        (``rejected_stale``).
         """
         bucket = self._generations.get(generation_id)
         if bucket is None:
+            if generation_id <= self._highest_evicted:
+                self.rejected_stale += 1
+                return False
             if len(self._generations) >= self.capacity_generations:
                 self._evict_oldest()
             bucket = []
             self._generations[generation_id] = bucket
+        elif packet in bucket:
+            # Buckets hold at most a few packets per generation, so the
+            # linear duplicate scan is cheaper than hashing packets.
+            self.duplicate_packets += 1
+            return False
         bucket.append(packet)
         self.stored_packets += 1
         return True
@@ -64,6 +89,8 @@ class GenerationBuffer:
         oldest_id, packets = self._generations.popitem(last=False)
         self.evicted_generations += 1
         self.stored_packets -= len(packets)
+        if oldest_id > self._highest_evicted:
+            self._highest_evicted = oldest_id
 
     def release(self, generation_id: int) -> list[Any]:
         """Remove and return a generation's packets (after decode/forward)."""

@@ -26,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.net.events import EventScheduler
+from repro.net.impairments import Impairment
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Datagram
 from repro.util.rng import derive_rng
@@ -44,6 +45,10 @@ class LinkStats:
         "dropped_loss",
         "dropped_queue",
         "dropped_down",
+        "corrupted_packets",
+        "dropped_corrupt",
+        "duplicated_packets",
+        "dropped_blackhole",
     )
 
     def __init__(self) -> None:
@@ -54,6 +59,10 @@ class LinkStats:
         self.dropped_loss = 0
         self.dropped_queue = 0
         self.dropped_down = 0
+        self.corrupted_packets = 0
+        self.dropped_corrupt = 0
+        self.duplicated_packets = 0
+        self.dropped_blackhole = 0
 
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -89,6 +98,11 @@ class Link:
         self.queue_bytes = queue_bytes
         self.jitter_s = float(jitter_s)
         self._rng = rng if rng is not None else derive_rng("net.link", src, dst)
+        # Dirty-wire impairments (corruption, duplication, blackhole),
+        # applied after the loss model in attachment order.  An empty
+        # list consumes zero extra RNG draws, so clean runs replay
+        # bit-identically to builds that predate impairments.
+        self.impairments: list[Impairment] = []
         self._deliver: DeliverFn | None = None
         self._backlog_bytes = 0
         self.is_up = True
@@ -122,6 +136,14 @@ class Link:
     def set_loss(self, loss: LossModel) -> None:
         self.loss = loss
 
+    def add_impairment(self, impairment: Impairment) -> None:
+        """Attach a dirty-wire impairment (applied after the loss model)."""
+        self.impairments.append(impairment)
+
+    def clear_impairments(self) -> None:
+        """Detach every impairment, restoring a clean wire."""
+        self.impairments.clear()
+
     def down(self) -> None:
         """Fail the link: refuse new packets, drop everything in flight.
 
@@ -140,8 +162,18 @@ class Link:
         self._tx_free_at = self.scheduler.now
 
     def up(self) -> None:
-        """Restore a failed link (packets lost meanwhile stay lost)."""
+        """Restore a failed link (packets lost meanwhile stay lost).
+
+        A reconnect is a fresh wire: correlated state in the loss model
+        (e.g. ``BurstLoss``'s previous-packet memory) and in any
+        impairment must not leak across the outage, so both are reset.
+        """
+        if self.is_up:
+            return
         self.is_up = True
+        self.loss.reset()
+        for impairment in self.impairments:
+            impairment.reset()
 
     # -- data path --------------------------------------------------------
 
@@ -178,10 +210,27 @@ class Link:
         if self.loss.drop(self._rng):
             self.stats.dropped_loss += 1
             return
+        if not self.impairments:
+            self._propagate(dgram, epoch)
+            return
+        delivered = [dgram]
+        for impairment in self.impairments:
+            survivors: list[Datagram] = []
+            for d in delivered:
+                survivors.extend(impairment.apply(d, self._rng, self.stats))
+            delivered = survivors
+            if not delivered:
+                return
+        for d in delivered:
+            self._propagate(d, epoch)
+
+    def _propagate(self, dgram: Datagram, epoch: int) -> None:
         delay = self.delay_s
         if self.jitter_s > 0:
-            # Uniform one-sided jitter; reordering across packets is the
-            # point (the Fig. 5 buffer study depends on it).
+            # Uniform one-sided jitter, drawn per delivered copy so
+            # duplicates reorder against their originals; reordering
+            # across packets is the point (the Fig. 5 buffer study
+            # depends on it).
             delay += float(self._rng.uniform(0.0, self.jitter_s))
         self.scheduler.schedule(delay, self._arrive, dgram, epoch)
 

@@ -7,7 +7,13 @@ from dataclasses import dataclass
 import numpy as np
 import numpy.typing as npt
 
-from repro.rlnc.header import FLAG_SYSTEMATIC, NCHeader, packet_struct
+from repro.rlnc.header import (
+    ChecksumError,
+    FLAG_SYSTEMATIC,
+    NCHeader,
+    packet_struct,
+    verify_wire,
+)
 
 
 @dataclass(eq=False)
@@ -15,14 +21,27 @@ class CodedPacket:
     """One RLNC packet as it travels the data plane.
 
     ``payload`` is the coded block as GF(2^8) symbols (uint8).  The wire
-    representation is ``header.encode() + payload.tobytes()``; for a
-    1460-byte block and 4 blocks per generation it occupies exactly
-    1472 bytes of UDP payload, filling a 1500-byte Ethernet MTU once UDP
-    and IP headers are added (the paper's fragmentation-free sizing).
+    representation is the fixed header (incl. CRC32), coefficients, and
+    ``payload.tobytes()``; for a 1460-byte block and 4 blocks per
+    generation it occupies 1476 bytes of UDP payload (DESIGN.md §11 has
+    the MTU arithmetic).
+
+    Integrity is two-layered.  On the byte codec, :meth:`encode` embeds
+    a CRC32 covering the whole image and :meth:`decode` verifies it,
+    raising :class:`~repro.rlnc.header.ChecksumError` on corruption.
+    In the object-level simulator — where packets travel as Python
+    objects, not bytes — ``checksum`` is a lazy seal: ``None`` means
+    "never serialized, trusted" (:meth:`verify` is then trivially true,
+    so clean runs pay nothing), while an impairment that mutates a copy
+    of the packet carries the *pristine* seal along, which is exactly
+    what lets a VNF or receiver detect the tampering.
     """
 
     header: NCHeader
     payload: npt.NDArray[np.uint8]
+    #: CRC32 seal over header prefix + coefficients + payload, or
+    #: ``None`` when the packet has never been sealed (trusted).
+    checksum: int | None = None
 
     def __post_init__(self) -> None:
         self.payload = np.asarray(self.payload, dtype=np.uint8)
@@ -46,27 +65,61 @@ class CodedPacket:
         """Total NC-layer size (header + block) in bytes."""
         return self.header.size_bytes + int(self.payload.shape[0])
 
+    # -- integrity ---------------------------------------------------------
+
+    def content_checksum(self) -> int:
+        """CRC32 over the packet's content (what the wire image embeds)."""
+        return self.header.content_checksum(self.payload.tobytes())
+
+    def seal(self) -> "CodedPacket":
+        """Stamp the current content's checksum onto the packet."""
+        self.checksum = self.content_checksum()
+        return self
+
+    def verify(self) -> bool:
+        """True unless a carried seal disagrees with the content.
+
+        Unsealed packets (``checksum is None``) verify trivially — the
+        clean-path cost of integrity is zero; only packets that crossed
+        an impairing link (or the byte codec) carry a seal to check.
+        """
+        return self.checksum is None or self.checksum == self.content_checksum()
+
+    # -- wire codec --------------------------------------------------------
+
     def encode(self) -> bytes:
         """Serialize header and payload to bytes.
 
         One pack call through a cached :class:`struct.Struct` covering
         the whole wire image — no header-bytes + payload-bytes
-        concatenation on the hot path.
+        concatenation on the hot path.  The embedded CRC32 covers every
+        byte of the image except itself.
         """
         header = self.header
         flags = FLAG_SYSTEMATIC if header.systematic else 0
+        coeff_bytes = header.coefficients.tobytes()
+        payload_bytes = self.payload.tobytes()
+        crc = header.content_checksum(payload_bytes)
         return packet_struct(header.block_count, self.payload.nbytes).pack(
             header.session_id,
             header.generation_id,
             header.block_count,
             flags,
-            header.coefficients.tobytes(),
-            self.payload.tobytes(),
+            crc,
+            coeff_bytes,
+            payload_bytes,
         )
 
     @classmethod
-    def decode(cls, data: bytes) -> "CodedPacket":
-        """Parse a serialized coded packet (no intermediate payload slice)."""
+    def decode(cls, data: bytes, verify: bool = True) -> "CodedPacket":
+        """Parse a serialized coded packet (no intermediate payload slice).
+
+        Raises :class:`~repro.rlnc.header.ChecksumError` when the CRC32
+        word does not match the image (``verify=False`` skips the check
+        for diagnostic tooling that wants the corrupt contents).
+        """
+        if verify and not verify_wire(data):
+            raise ChecksumError("coded packet failed CRC32 verification")
         header, offset = NCHeader.decode_from(data)
         payload = np.frombuffer(data, dtype=np.uint8, offset=offset).copy()
         return cls(header=header, payload=payload)

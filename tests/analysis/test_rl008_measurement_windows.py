@@ -1,0 +1,154 @@
+"""RL008 fixtures: MeasurementService windows opened but never closed."""
+
+from tests.analysis.helpers import active_ids, lint
+
+SELECT = ["RL008"]
+
+
+class TestFires:
+    def test_started_never_stopped(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            def test_periodic(topology):
+                service = MeasurementService(topology, print, interval_s=5.0)
+                service.start()
+                topology.run(until=20.0)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL008"]
+        assert "service.stop()" in findings[0].message
+
+    def test_alias_import_still_resolves(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService as Sampler
+
+            def probe(topology):
+                sampler = Sampler(topology, print)
+                sampler.start()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL008"]
+
+    def test_attribute_receiver_in_one_scope(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            class Harness:
+                def run_once(self, topology):
+                    self.service = MeasurementService(topology, print)
+                    self.service.start()
+                    topology.run(until=10.0)
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL008"]
+
+    def test_module_level_window(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            service = MeasurementService(None, print)
+            service.start()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL008"]
+
+    def test_two_leaks_two_findings(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            def test_a(topology):
+                a = MeasurementService(topology, print)
+                a.start()
+
+            def test_b(topology):
+                b = MeasurementService(topology, print)
+                b.start()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == ["RL008", "RL008"]
+
+
+class TestQuiet:
+    def test_started_and_stopped(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            def test_window(topology):
+                service = MeasurementService(topology, print, interval_s=5.0)
+                service.start()
+                topology.run(until=6.0)
+                service.stop()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_constructed_but_never_started(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            def test_validation(topology):
+                service = MeasurementService(topology, print)
+                service.sample_once()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_cross_scope_lifecycle_is_not_flagged(self):
+        # Construction in __init__, start/stop from different methods:
+        # the window is managed, just not scope-locally visible.
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            class Daemon:
+                def __init__(self, topology):
+                    self.service = MeasurementService(topology, print)
+
+                def bring_up(self):
+                    self.service.start()
+
+                def tear_down(self):
+                    self.service.stop()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_unrelated_start_calls_ignored(self):
+        findings = lint(
+            """
+            def boot(daemon):
+                daemon.start()
+            """,
+            select=SELECT,
+        )
+        assert active_ids(findings) == []
+
+    def test_suppression_comment_respected(self):
+        findings = lint(
+            """
+            from repro.net.measurement import MeasurementService
+
+            def soak_forever(topology):
+                service = MeasurementService(topology, print)
+                service.start()  # repro-lint: disable=RL008
+            """,
+            select=SELECT,
+        )
+        assert [f.rule_id for f in findings] == ["RL008"]
+        assert active_ids(findings) == []

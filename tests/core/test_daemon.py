@@ -55,6 +55,99 @@ class TestForwardTab:
         assert vnf.forwarding_table.next_hops(1) == ["hopA"]
 
 
+class TestStaleConfigDefense:
+    def _bring_up(self, bus, scheduler):
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),)))
+        scheduler.run()
+
+    def test_older_epoch_table_is_rejected(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        self._bring_up(bus, scheduler)
+        bus.send(NcForwardTab(target="node1", table_text="1 recovered\n", epoch=2))
+        scheduler.run()
+        # A pre-replan table delayed past the recovery push must not
+        # clobber the recovered state.
+        bus.send(NcForwardTab(target="node1", table_text="1 stale\n", epoch=1))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == ["recovered"]
+        assert daemon.stale_rejected == 1
+        assert daemon.config_epoch == 2
+
+    def test_equal_epoch_is_accepted(self, daemon_setup, scheduler):
+        # Table + settings of one controller push share an epoch, and
+        # epoch-0 senders predating the protocol keep working.
+        bus, vnf, daemon = daemon_setup
+        self._bring_up(bus, scheduler)
+        bus.send(NcForwardTab(target="node1", table_text="1 a\n", epoch=3))
+        bus.send(NcForwardTab(target="node1", table_text="1 b\n", epoch=3))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == ["b"]
+        assert daemon.stale_rejected == 0
+
+    def test_stale_settings_do_not_reconfigure(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),), epoch=5))
+        scheduler.run()
+        bus.send(NcSettings(target="node1", roles=((1, "forwarder"),), epoch=4))
+        scheduler.run()
+        assert vnf.roles[1] is VnfRole.RECODER
+        assert daemon.stale_rejected == 1
+
+    def test_restart_forgets_epoch(self, daemon_setup, scheduler):
+        # Supervisor-restart amnesia: a fresh daemon process accepts
+        # whatever epoch the controller sends next.
+        bus, vnf, daemon = daemon_setup
+        self._bring_up(bus, scheduler)
+        bus.send(NcForwardTab(target="node1", table_text="1 x\n", epoch=7))
+        scheduler.run()
+        daemon.kill()
+        daemon.restart()
+        assert daemon.config_epoch == 0
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),), epoch=1))
+        scheduler.run()
+        assert daemon.stale_rejected == 0
+
+
+class TestDuplicateDelivery:
+    def test_redelivered_signal_is_dropped(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),)))
+        scheduler.run()
+        table = NcForwardTab(target="node1", table_text="1 hopA\n")
+        bus.send(table)
+        bus.send(table)  # at-least-once retry re-sends the same signal
+        scheduler.run()
+        assert daemon.applied_tables == 1  # the SIGUSR1 pause was paid once
+        assert daemon.duplicate_dropped == 1
+
+    def test_equal_but_distinct_signals_both_apply(self, daemon_setup, scheduler):
+        # Dedup keys on signal identity, not content equality: the
+        # controller may legitimately re-push identical table text.
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),)))
+        scheduler.run()
+        first = NcForwardTab(target="node1", table_text="1 hopA\n")
+        second = NcForwardTab(target="node1", table_text="1 hopA\n")
+        assert first == second  # content-equal…
+        bus.send(first)
+        bus.send(second)
+        scheduler.run()
+        assert daemon.applied_tables == 2  # …but both deliveries count
+        assert daemon.duplicate_dropped == 0
+
+    def test_restart_clears_dedup_window(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        settings = NcSettings(target="node1", roles=((1, "recoder"),))
+        bus.send(settings)
+        scheduler.run()
+        daemon.kill()
+        daemon.restart()
+        bus.send(settings)  # controller re-sends after the restart
+        scheduler.run()
+        assert daemon.duplicate_dropped == 0
+        assert vnf.roles[1] is VnfRole.RECODER
+
+
 class TestVnfEnd:
     def test_end_unregisters_and_notifies(self, daemon_setup, scheduler):
         bus, vnf, daemon = daemon_setup

@@ -57,8 +57,24 @@ def test_buffer_never_exceeds_capacity(capacity, operations):
 )
 @settings(max_examples=50, deadline=None)
 def test_buffer_keeps_most_recent_insertions(capacity, gen_ids):
+    # Reference model of the FIFO + stale-refusal semantics: inserting
+    # evicts the oldest bucket when full, and a straggler at or below
+    # the eviction high-water mark is refused (DESIGN.md §11) — it must
+    # not displace a live generation.
     buf = GenerationBuffer(capacity)
+    expected = []
+    highest_evicted = -1
     for g in gen_ids:
-        buf.add(g, "p")
-    survivors = list(buf.generations())
-    assert survivors == gen_ids[-capacity:] if len(gen_ids) >= capacity else gen_ids
+        accepted = buf.add(g, "p")
+        if g <= highest_evicted:
+            assert not accepted
+            continue
+        assert accepted
+        if len(expected) >= capacity:
+            evicted = expected.pop(0)
+            highest_evicted = max(highest_evicted, evicted)
+        expected.append(g)
+    assert list(buf.generations()) == expected
+    # Every id was accepted once (and either survived or was evicted) or
+    # refused as stale; nothing is double-counted.
+    assert buf.rejected_stale == len(gen_ids) - len(expected) - buf.evicted_generations

@@ -69,6 +69,42 @@ class TestSoakDeterminism:
         assert run_chaos_session(3).fingerprint != run_chaos_session(4).fingerprint
 
 
+class TestDirtySoak:
+    """Dirty-wire soak: the corruption/duplication/blackhole menu on.
+
+    The CI ``--impairments`` batch runs a wider sweep; this is the
+    in-tree slice that keeps the dirty menu honest — same contracts as
+    the clean soak (terminate typed, replay bit-identically), plus the
+    guarantee that corruption never pollutes a completed decode (a
+    polluted generation would decode to wrong bytes at full rank, which
+    the transfer-level checks downstream would flag as completed-but-
+    wrong; here the typed-outcome contract is the gate).
+    """
+
+    def test_dirty_seeds_complete_or_fail_typed_and_replay(self):
+        outcomes = run_chaos_soak(range(8), replay=True, impairments=True)
+        for outcome in outcomes:
+            assert outcome.outcome in ("completed", "degraded-typed"), (
+                f"dirty seed {outcome.seed}: incomplete with no typed evidence"
+            )
+
+    def test_dirty_menu_is_actually_drawn(self):
+        dirty_kinds = {FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE,
+                       FaultKind.LINK_BLACKHOLE}
+        seen = set()
+        for seed in range(12):
+            plan = FaultPlan.random(seed, duration_s=2.0, links=DATA_LINKS,
+                                    daemons=("T",), max_faults=4, impairments=True)
+            seen |= {e.kind for e in plan}
+        assert seen & dirty_kinds
+
+    def test_impairments_default_off_leaves_fingerprints_alone(self):
+        # run_chaos_session with the flag off must be byte-for-byte the
+        # run it was before impairments existed.
+        assert run_chaos_session(11).fingerprint == \
+            run_chaos_session(11, impairments=False).fingerprint
+
+
 class TestAdversarialPlans:
     def test_forward_tab_drop_during_recovery_still_terminates(self):
         # Kill T's daemon long enough for a death verdict, and eat the

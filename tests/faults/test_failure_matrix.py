@@ -360,6 +360,56 @@ class TestButterflyUnderFaults:
         for name in r.receivers:
             assert r.decoded_after[name] > 0
 
+    def test_corruption_window_is_contained_at_the_relay(self):
+        # Bit-flip a third of the bottleneck's packets for 0.4 s.  V2's
+        # checksum gate must drop every damaged packet before it can be
+        # mixed into a recode — corruption degrades into loss, loss is
+        # repaired, and the control plane never even notices.
+        plan = FaultPlan([
+            FaultEvent(1.0, FaultKind.LINK_CORRUPT, link_key("T", "V2"), param=0.3),
+            FaultEvent(1.4, FaultKind.LINK_CLEAR, link_key("T", "V2")),
+        ])
+        r = run_butterfly_failover(plan=plan, duration_s=2.5)
+        dirty = r.topology.links[("T", "V2")]
+        assert dirty.stats.corrupted_packets > 0   # the window hit real traffic
+        assert dirty.impairments == []             # ...and was cleared
+        assert r.daemons["V2"].vnf.corrupt_dropped > 0
+        assert r.detected_at is None  # data-plane dirt: no false death verdict
+        for name in r.receivers:
+            assert r.decoded_after[name] > 0
+
+    def test_duplication_window_is_deduplicated_at_the_relay(self):
+        # Duplicate every packet entering O1 for 0.4 s.  The relay's
+        # generation buffer must refuse the copies instead of emitting a
+        # redundant recode per duplicate.
+        plan = FaultPlan([
+            FaultEvent(1.0, FaultKind.LINK_DUPLICATE, link_key("V1", "O1"), param=1.0),
+            FaultEvent(1.4, FaultKind.LINK_CLEAR, link_key("V1", "O1")),
+        ])
+        r = run_butterfly_failover(plan=plan, duration_s=2.5)
+        dirty = r.topology.links[("V1", "O1")]
+        assert dirty.stats.duplicated_packets > 0
+        assert r.daemons["O1"].vnf.duplicate_dropped > 0
+        assert r.detected_at is None
+        for name in r.receivers:
+            assert r.decoded_after[name] > 0
+
+    def test_blackhole_window_is_absorbed_by_arq(self):
+        # Unlike LINK_DOWN, a blackhole keeps the sender's view of the
+        # link healthy — packets vanish with no local drop signal, the
+        # purest exercise of the end-to-end NACK repair path.
+        plan = FaultPlan([
+            FaultEvent(1.0, FaultKind.LINK_BLACKHOLE, link_key("T", "V2")),
+            FaultEvent(1.3, FaultKind.LINK_CLEAR, link_key("T", "V2")),
+        ])
+        r = run_butterfly_failover(plan=plan, duration_s=2.5)
+        dirty = r.topology.links[("T", "V2")]
+        assert dirty.stats.dropped_blackhole > 0
+        assert dirty.stats.dropped_down == 0  # never actually went down
+        assert r.detected_at is None
+        for name in r.receivers:
+            assert r.decoded_after[name] > 0
+
     def test_dropped_heartbeats_below_threshold_are_tolerated(self):
         plan = FaultPlan([
             FaultEvent(1.0, FaultKind.SIGNAL_DROP, "NcHeartbeat"),

@@ -17,6 +17,7 @@ from repro.faults import (
     FaultTargetError,
 )
 from repro.faults.injector import link_key
+from repro.net.impairments import BitFlipCorruption, Duplication
 from repro.net.link import Link
 from repro.net.loss import NoLoss, UniformLoss
 from repro.net.packet import Datagram
@@ -58,6 +59,15 @@ class TestFaultEvent:
             FaultEvent(1.0, FaultKind.LINK_DEGRADE, "a->b")
         with pytest.raises(ValueError, match="probability"):
             FaultEvent(1.0, FaultKind.LINK_DEGRADE, "a->b", param=1.5)
+
+    def test_dirty_wire_kinds_need_packet_rates(self):
+        with pytest.raises(ValueError, match="packet rate"):
+            FaultEvent(1.0, FaultKind.LINK_CORRUPT, "a->b")
+        with pytest.raises(ValueError, match="packet rate"):
+            FaultEvent(1.0, FaultKind.LINK_DUPLICATE, "a->b", param=1.5)
+        # Blackhole and clear are parameterless.
+        FaultEvent(1.0, FaultKind.LINK_BLACKHOLE, "a->b")
+        FaultEvent(1.0, FaultKind.LINK_CLEAR, "a->b")
 
     def test_events_are_immutable(self):
         event = FaultEvent(1.0, FaultKind.VM_CRASH, "vm-1")
@@ -105,6 +115,38 @@ class TestFaultPlan:
                 assert any(r.target == kill.target and r.time_s > kill.time_s
                            for r in restarts)
 
+    def test_impairments_off_keeps_plans_bit_identical(self):
+        # The dirty-wire menu is opt-in; existing seeded plans must not
+        # shift when the flag stays off.
+        kwargs = dict(duration_s=5.0, links=["a->b"], daemons=["a"], max_faults=6)
+        dirty_kinds = {FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE, FaultKind.LINK_BLACKHOLE}
+        for seed in range(10):
+            plan = FaultPlan.random(seed, **kwargs)
+            assert plan.events == FaultPlan.random(seed, impairments=False, **kwargs).events
+            assert not any(e.kind in dirty_kinds for e in plan)
+
+    def test_impairments_opt_in_draws_dirty_faults(self):
+        kinds = set()
+        for seed in range(40):
+            plan = FaultPlan.random(seed, duration_s=5.0, links=["a->b"],
+                                    max_faults=6, impairments=True)
+            kinds |= {e.kind for e in plan}
+        assert {FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE,
+                FaultKind.LINK_BLACKHOLE} <= kinds
+
+    def test_every_dirty_window_is_cleared(self):
+        dirty_kinds = (FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE, FaultKind.LINK_BLACKHOLE)
+        for seed in range(40):
+            plan = FaultPlan.random(seed, duration_s=5.0, links=["a->b", "b->c"],
+                                    max_faults=6, impairments=True)
+            clears = plan.of_kind(FaultKind.LINK_CLEAR)
+            for event in plan:
+                if event.kind in dirty_kinds:
+                    assert any(c.target == event.target and c.time_s > event.time_s
+                               for c in clears)
+                if event.kind in (FaultKind.LINK_CORRUPT, FaultKind.LINK_DUPLICATE):
+                    assert 0.0 <= event.param <= 1.0
+
     def test_random_rejects_empty_pools(self):
         with pytest.raises(ValueError, match="nothing to break"):
             FaultPlan.random(1, duration_s=5.0)
@@ -128,6 +170,12 @@ class TestArmTimeValidation:
     def test_unknown_link(self, scheduler):
         injector = FaultInjector(scheduler, FaultPlan([
             FaultEvent(1.0, FaultKind.LINK_DOWN, "a->z")]))
+        with pytest.raises(FaultTargetError, match="no link registered"):
+            injector.arm()
+
+    def test_unknown_impairment_link(self, scheduler):
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(1.0, FaultKind.LINK_CORRUPT, "a->z", param=0.1)]))
         with pytest.raises(FaultTargetError, match="no link registered"):
             injector.arm()
 
@@ -242,6 +290,55 @@ class TestFiring:
         assert not inbound.is_up and not outbound.is_up
         assert not daemon.alive
         assert not bus.is_registered("n")
+
+    def test_corrupt_window_attaches_then_clear_detaches(self, scheduler):
+        link, delivered = _link(scheduler)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(0.1, FaultKind.LINK_CORRUPT, link_key("a", "b"), param=1.0),
+            FaultEvent(0.5, FaultKind.LINK_CLEAR, link_key("a", "b")),
+        ]))
+        injector.add_link("a", "b", link)
+        injector.arm()
+        # Inside the window every packet is selected for corruption; a
+        # non-coded payload can't carry a damaged copy, so it is dropped
+        # (the kernel-UDP-checksum model).  After LINK_CLEAR the wire is
+        # pristine again.
+        scheduler.schedule_at(0.3, link.send, Datagram("a", "b", None, 1200))
+        scheduler.schedule_at(0.7, link.send, Datagram("a", "b", None, 1200))
+        scheduler.run(until=0.4)
+        assert isinstance(link.impairments[0], BitFlipCorruption)
+        scheduler.run(until=1.0)
+        assert link.impairments == []
+        assert link.stats.dropped_corrupt == 1
+        assert len(delivered) == 1
+
+    def test_duplicate_window_doubles_the_wire(self, scheduler):
+        link, delivered = _link(scheduler)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(0.1, FaultKind.LINK_DUPLICATE, link_key("a", "b"), param=1.0)]))
+        injector.add_link("a", "b", link)
+        injector.arm()
+        scheduler.schedule_at(0.3, link.send, Datagram("a", "b", None, 1200))
+        scheduler.run(until=1.0)
+        assert isinstance(link.impairments[0], Duplication)
+        assert link.stats.duplicated_packets == 1
+        assert len(delivered) == 2
+
+    def test_blackhole_window_swallows_silently(self, scheduler):
+        link, delivered = _link(scheduler)
+        injector = FaultInjector(scheduler, FaultPlan([
+            FaultEvent(0.1, FaultKind.LINK_BLACKHOLE, link_key("a", "b")),
+            FaultEvent(0.5, FaultKind.LINK_CLEAR, link_key("a", "b")),
+        ]))
+        injector.add_link("a", "b", link)
+        injector.arm()
+        scheduler.schedule_at(0.3, link.send, Datagram("a", "b", None, 1200))
+        scheduler.schedule_at(0.7, link.send, Datagram("a", "b", None, 1200))
+        scheduler.run(until=1.0)
+        assert link.stats.dropped_blackhole == 1
+        # Unlike LINK_DOWN, the sender sees a healthy link throughout.
+        assert link.stats.sent_packets == 2
+        assert len(delivered) == 1
 
     def test_signal_drop_rule_is_one_shot(self, scheduler):
         bus = SignalBus(scheduler, latency_s=0.02)

@@ -1,0 +1,115 @@
+"""End-to-end dirty-wire acceptance tests (ISSUE tentpole).
+
+Two scenarios the checksum + epoch machinery exists for:
+
+- *Pollution containment*: a lossy-wire butterfly run where a relay's
+  ingress link flips bits in 5 % of packets for the whole transfer.
+  Every corrupted packet must die at the relay's verify gate (never
+  entering a recoding buffer), the resulting rank shortfall must heal
+  through the ordinary NACK-repair path, and every generation must
+  decode bit-identically to what the source sent — zero polluted
+  decodes.
+- *Stale control plane*: a pre-V2-failure NC_FORWARD_TAB delayed across
+  a second healing replan arrives after newer config was applied; the
+  daemon's epoch check must reject it so the recovery table survives,
+  and the session must still finish at full rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.failures import run_butterfly_failover
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.faults.injector import link_key
+
+
+class TestPollutionContainment:
+    def test_corrupted_relay_ingress_decodes_bit_identically(self):
+        total = 40
+        plan = FaultPlan(
+            [FaultEvent(0.0, FaultKind.LINK_CORRUPT, link_key("T", "V2"), param=0.05)]
+        )
+        result = run_butterfly_failover(
+            plan=plan,
+            duration_s=6.0,
+            payload_mode="full",
+            relay_repair=True,
+            total_generations=total,
+            retain_decoded=True,
+        )
+
+        # The wire really was dirty, and the relay's verify gate caught it.
+        dirty = result.topology.links[("T", "V2")].stats
+        assert dirty.corrupted_packets > 0
+        assert result.daemons["V2"].vnf.corrupt_dropped > 0
+        # No crash in this scenario: the detector stays quiet.
+        assert result.detected_at is None
+
+        # Containment: corruption degraded into loss, loss healed via
+        # NACK repair, and every decode matches the source bit for bit.
+        source_cache = result.source._cache
+        for name, app in result.receivers.items():
+            assert len(app.completed) == total, f"{name} finished {len(app.completed)}/{total}"
+            for gen_id in range(total):
+                decoded = app.decoded_generations[gen_id]
+                assert np.array_equal(decoded.blocks, source_cache[gen_id].blocks), (
+                    f"{name} decoded a polluted generation {gen_id}"
+                )
+
+    def test_clean_wire_run_sees_no_corruption_counters(self):
+        result = run_butterfly_failover(
+            plan=FaultPlan([]),
+            duration_s=3.0,
+            payload_mode="full",
+            total_generations=16,
+            retain_decoded=True,
+        )
+        assert result.topology.links[("T", "V2")].stats.corrupted_packets == 0
+        for daemon in result.daemons.values():
+            assert daemon.vnf.corrupt_dropped == 0
+        for app in result.receivers.values():
+            assert app.corrupt_dropped == 0
+            assert len(app.completed) == 16
+
+
+class TestStaleControlPlane:
+    def test_delayed_prereplan_table_is_rejected_across_second_replan(self):
+        total = 60
+        # T's daemon dies at 0.5 (detected ~0.9 → replan epoch 1); the
+        # first epoch-1 NC_FORWARD_TAB (alphabetically C1's) is delayed
+        # a full second in flight.  V2's daemon dies at 1.2 (detected
+        # ~1.6 → replan epoch 2, applied immediately).  The delayed
+        # epoch-1 table then lands at ~1.9 — stale, and must bounce off
+        # C1's epoch check instead of clobbering the epoch-2 route.
+        plan = FaultPlan(
+            [
+                FaultEvent(0.5, FaultKind.DAEMON_KILL, "T"),
+                FaultEvent(0.55, FaultKind.SIGNAL_DELAY, "NcForwardTab", param=1.0),
+                FaultEvent(1.2, FaultKind.DAEMON_KILL, "V2"),
+            ]
+        )
+        result = run_butterfly_failover(
+            plan=plan,
+            duration_s=5.0,
+            total_generations=total,
+            relay_repair=True,
+        )
+
+        # Two death verdicts, two feasible replans.
+        assert result.dead_nodes == ["T", "V2"]
+        assert len(result.recovery_plans) == 2
+        assert all(p.feasible for p in result.recovery_plans)
+
+        c1 = result.daemons["C1"]
+        assert c1.stale_rejected == 1
+        assert c1.config_epoch == 2
+        # The recovery table survived the stale delivery.
+        assert c1.vnf.forwarding_table == result.recovery_plans[1].tables["C1"]
+
+        # And the defense is not at the session's expense: both
+        # receivers still reach full rank on the rerouted topology.
+        for name, app in result.receivers.items():
+            assert len(app.completed) == total, f"{name} finished {len(app.completed)}/{total}"
+            assert app._cum_ack == total - 1
+            assert not app._decoders

@@ -59,6 +59,69 @@ class TestFifoEviction:
         assert buf.stored_packets == 1
 
 
+class TestDirtyWireHardening:
+    """Duplication + severe reordering must not distort accounting."""
+
+    def test_duplicate_does_not_inflate_stored_packets(self):
+        buf = GenerationBuffer(4)
+        assert buf.add(0, "a") is True
+        assert buf.add(0, "a") is False  # wire-duplicated copy
+        assert buf.stored_packets == 1
+        assert buf.packets(0) == ["a"]
+        assert buf.duplicate_packets == 1
+
+    def test_distinct_packets_of_a_generation_still_fit(self):
+        buf = GenerationBuffer(4)
+        assert buf.add(0, "a")
+        assert buf.add(0, "b")
+        assert buf.stored_packets == 2
+
+    def test_same_payload_in_different_generations_is_not_a_duplicate(self):
+        buf = GenerationBuffer(4)
+        assert buf.add(0, "p")
+        assert buf.add(1, "p")
+        assert buf.duplicate_packets == 0
+
+    def test_stale_straggler_cannot_evict_live_generations(self):
+        buf = GenerationBuffer(2)
+        buf.add(0, "a")
+        buf.add(1, "b")
+        buf.add(2, "c")  # evicts generation 0
+        assert buf.add(0, "late") is False  # straggler for a dead generation
+        assert buf.rejected_stale == 1
+        assert list(buf.generations()) == [1, 2]  # live generations intact
+        assert buf.evicted_generations == 1
+
+    def test_duplicate_of_evicted_generation_is_stale_not_duplicate(self):
+        buf = GenerationBuffer(1)
+        buf.add(0, "a")
+        buf.add(1, "b")  # evicts generation 0
+        assert buf.add(0, "a") is False
+        assert buf.rejected_stale == 1
+        assert buf.duplicate_packets == 0
+
+    def test_severe_reordering_with_duplication(self):
+        # Arrival order scrambled and every packet delivered twice: the
+        # buffer must hold exactly one copy of each and never evict a
+        # live generation to store a straggler.
+        buf = GenerationBuffer(4)
+        arrivals = [3, 0, 2, 1, 0, 3, 2, 1]  # each generation twice
+        for gen in arrivals:
+            buf.add(gen, f"pkt-{gen}")
+        assert buf.stored_packets == 4
+        assert buf.duplicate_packets == 4
+        assert buf.evicted_generations == 0
+        assert sorted(buf.generations()) == [0, 1, 2, 3]
+
+    def test_accounting_survives_eviction_with_duplicates(self):
+        buf = GenerationBuffer(2)
+        for gen in (0, 0, 1, 1, 2, 2, 3, 3):  # duplicates throughout
+            buf.add(gen, f"pkt-{gen}")
+        assert len(buf) == 2
+        assert buf.stored_packets == 2  # one live copy per buffered generation
+        assert buf.evicted_generations == 2
+
+
 class TestRelease:
     def test_release_removes(self):
         buf = GenerationBuffer(4)

@@ -86,6 +86,7 @@ class TestMeasurementService:
         )
         service.start()
         line_topology.run(until=35.0)
+        service.stop()
         # 3 ticks × 4 links.
         assert len(reports) == 12
         times = sorted({r[0] for r in reports})
@@ -98,6 +99,7 @@ class TestMeasurementService:
         )
         service.start()
         line_topology.run(until=6.0)
+        service.stop()
         assert reports[("a", "b")] == (pytest.approx(100.0), pytest.approx(10.0))
 
     def test_stop(self, line_topology):
@@ -120,4 +122,5 @@ class TestMeasurementService:
         )
         service.start()
         line_topology.run(until=20.0)
+        service.stop()
         assert len(set(values)) > 5  # noisy, not constant

@@ -32,15 +32,16 @@ class TestEncodeDecode:
         assert decoded == header
         assert rest == b"payload-bytes"
 
-    def test_fixed_part_is_8_bytes(self):
-        # The paper: "a total of 8 bytes plus the length of coefficients".
-        assert FIXED_HEADER_BYTES == 8
+    def test_fixed_part_is_12_bytes(self):
+        # The paper's 8-byte fixed part plus the CRC32 word (DESIGN.md §11).
+        assert FIXED_HEADER_BYTES == 12
 
-    def test_paper_default_is_12_bytes(self):
-        # 4 blocks per generation -> 12-byte header (paper §III-B1).
+    def test_paper_default_is_16_bytes(self):
+        # 4 blocks per generation -> 16-byte header (paper §III-B1's 12
+        # plus the 4-byte integrity word).
         header = make_header()
-        assert header.size_bytes == 12
-        assert len(header.encode()) == 12
+        assert header.size_bytes == 16
+        assert len(header.encode()) == 16
 
     def test_systematic_flag_survives(self):
         header = make_header(systematic=True)

@@ -19,10 +19,10 @@ class TestWireFormat:
     def test_size_accounting(self, rng):
         gen = Generation(0, rng.integers(0, 256, (4, 1460), dtype=np.uint8))
         packet = Encoder(1, gen, rng=rng).next_packet()
-        # 8 fixed header + 4 coefficients + 1460 block = 1472 bytes: with
-        # UDP (8) + IP (20) that's exactly one 1500-byte MTU.
-        assert packet.size_bytes == 1472
-        assert len(packet.encode()) == 1472
+        # 12 fixed header (incl. CRC32) + 4 coefficients + 1460 block =
+        # 1476 bytes of UDP payload (DESIGN.md §11 for the MTU note).
+        assert packet.size_bytes == 1476
+        assert len(packet.encode()) == 1476
 
     def test_payload_must_be_1d(self):
         from repro.rlnc.header import NCHeader
