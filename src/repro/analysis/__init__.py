@@ -13,23 +13,44 @@ engine with repo-specific rules:
            ``==`` on simulated-time floats
 ``RL004``  signal-protocol exhaustiveness across signals/controller/daemon
 ``RL005``  mutable default arguments
+``RL006``  wall-clock reads / file I/O inside scheduled event callbacks
+``RL007``  forwarding-table string literals the real parser would reject
+``RL008``  ``MeasurementService`` started but never stopped in scope
+``RL009``  config signals constructed without a live ``epoch=`` stamp
+``RL010``  handlers transitively reaching wall-clock calls (call graph)
+``RL011``  ``CodedPacket`` buffered without a dominating ``verify()``
 =========  =================================================================
+
+RL009–RL011 are whole-program rules over the project symbol/call graph
+(``graph.py``); the package also ships an autofixer (``fixes.py``), an
+incremental cache (``cache.py``), and a SARIF/baseline CI gate
+(``sarif.py`` / ``baseline.py``) — see ``DESIGN.md`` §12.
 
 Findings can be suppressed per line with ``# repro-lint: disable=RL001``
 (or ``disable-next-line=`` / ``disable-file=``); see ``DESIGN.md``.
 """
 
-from repro.analysis.engine import AnalysisResult, analyze_paths, analyze_source
+from repro.analysis.engine import AnalysisResult, analyze_modules, analyze_paths, analyze_source
 from repro.analysis.findings import Finding
-from repro.analysis.registry import ModuleRule, ProjectRule, Rule, all_rules, get_rule, register
+from repro.analysis.registry import (
+    GraphRule,
+    ModuleRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
 
 __all__ = [
     "AnalysisResult",
     "Finding",
+    "GraphRule",
     "ModuleRule",
     "ProjectRule",
     "Rule",
     "all_rules",
+    "analyze_modules",
     "analyze_paths",
     "analyze_source",
     "get_rule",

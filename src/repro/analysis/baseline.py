@@ -1,0 +1,81 @@
+"""Baseline ratchet: fail CI on *new* findings only.
+
+Turning a new whole-program rule on against a 200-file tree is only
+practical when pre-existing findings don't instantly break every PR.
+The baseline file (committed as ``.repro-lint-baseline.json``) records
+the accepted debt; the gate then fails only on findings **not** in the
+baseline.  The ratchet works both ways:
+
+- a finding absent from the baseline fails the run (no new debt);
+- ``--update-baseline`` rewrites the file from the current findings,
+  so fixing debt shrinks the baseline in the same PR (reviewable as a
+  diff — deletions only, ideally).
+
+Entries are keyed ``(rule_id, path, message)`` and deliberately ignore
+line/column: pure code motion above a known finding must not re-flag
+it.  Two identical messages in one file collapse to one entry — the
+ratchet is per *distinct* finding, which is the right granularity for
+accepted debt (a third copy of an accepted pattern in the same file is
+arguably new, but flagging it would make unrelated edits fail, which
+costs more than it catches).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = ".repro-lint-baseline.json"
+
+BaselineKey = tuple[str, str, str]
+
+
+def finding_key(finding: "Finding") -> BaselineKey:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: str | Path) -> set[BaselineKey]:
+    """The accepted-finding set; empty when the file is absent/corrupt."""
+    p = Path(path)
+    try:
+        raw = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return set()
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        return set()
+    out: set[BaselineKey] = set()
+    for entry in raw.get("entries", []):
+        if not isinstance(entry, dict):
+            continue
+        rule = entry.get("rule")
+        fpath = entry.get("path")
+        message = entry.get("message")
+        if isinstance(rule, str) and isinstance(fpath, str) and isinstance(message, str):
+            out.add((rule, fpath, message))
+    return out
+
+
+def save_baseline(path: str | Path, findings: Iterable["Finding"]) -> int:
+    """Write the baseline from current *active* findings; returns entry count."""
+    keys = sorted({finding_key(f) for f in findings if not f.suppressed})
+    doc = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "path": fpath, "message": message}
+            for rule, fpath, message in keys
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(keys)
+
+
+def new_findings(
+    findings: Iterable["Finding"], baseline: set[BaselineKey]
+) -> list["Finding"]:
+    """Active findings not covered by the baseline (the gate's input)."""
+    return [f for f in findings if not f.suppressed and finding_key(f) not in baseline]

@@ -1,0 +1,55 @@
+"""Diff-aware file selection for ``--changed-only``.
+
+The analysis itself stays whole-program — cross-module rules (RL009–
+RL011) are only sound over the full graph — but on a PR the *reported*
+findings can be restricted to the files the PR touches: a finding in
+an untouched file is pre-existing by construction and belongs to the
+baseline/main-branch run, not the PR gate.
+
+``changed_python_files`` returns the union of
+
+- files changed vs. the merge base with ``base`` (``git diff
+  --name-only base...HEAD`` semantics, plus the working tree), and
+- untracked files (``git ls-files --others --exclude-standard``),
+
+filtered to ``.py``.  Returns ``None`` when git is unavailable or the
+ref does not resolve — callers fall back to reporting everything,
+which fails safe (more findings reported, never fewer).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+
+def _git_lines(args: list[str], cwd: Path) -> list[str] | None:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(base: str, repo_root: str | Path = ".") -> list[str] | None:
+    """Repo-relative ``.py`` paths changed vs. ``base`` (or None on error)."""
+    cwd = Path(repo_root)
+    diffed = _git_lines(["diff", "--name-only", "--diff-filter=ACMR", f"{base}...HEAD"], cwd)
+    if diffed is None:
+        # Shallow clones can lack the merge base; plain two-dot diff is
+        # a usable approximation there.
+        diffed = _git_lines(["diff", "--name-only", "--diff-filter=ACMR", base], cwd)
+    if diffed is None:
+        return None
+    worktree = _git_lines(["diff", "--name-only", "--diff-filter=ACMR", "HEAD"], cwd) or []
+    untracked = _git_lines(["ls-files", "--others", "--exclude-standard"], cwd) or []
+    out = {p for p in [*diffed, *worktree, *untracked] if p.endswith(".py")}
+    return sorted(out)

@@ -1,27 +1,45 @@
 """Walk files, parse, run rules, apply suppressions.
 
-The engine is deliberately linear: collect ``.py`` files, parse each
-once into a :class:`SourceModule` (AST + suppression index), run every
-module rule per module and every project rule once, then mark
-suppressed findings.  Syntax errors become ``RL000`` findings rather
-than crashes so a broken file cannot hide the rest of the tree.
+The engine pipeline: collect ``.py`` files (deduplicated across
+overlapping path arguments), hash and parse each into a
+:class:`SourceModule` (AST + suppression index), run every module rule
+per module, build the whole-program :class:`~repro.analysis.graph.ProjectGraph`
+once and run project/graph rules over it, then mark suppressed
+findings.  Syntax errors *and* undecodable files become ``RL000``
+findings rather than crashes so a broken file cannot hide the rest of
+the tree.
+
+Two performance layers keep full-tree analysis CI-fast:
+
+- file loading + per-module rules run in a ``concurrent.futures``
+  thread pool (:func:`analyze_paths`'s ``jobs``), and
+- an optional :class:`~repro.analysis.cache.AnalysisCache` serves
+  content-hash-keyed results for unchanged files and an unchanged
+  module set without re-parsing anything (see ``cache.py``).
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis.astutil import import_aliases
+from repro.analysis.cache import AnalysisCache, content_hash
 from repro.analysis.findings import Finding
-from repro.analysis.registry import ModuleRule, ProjectRule, Rule, all_rules
+from repro.analysis.graph import ProjectGraph, build_graph
+from repro.analysis.registry import GraphRule, ModuleRule, ProjectRule, Rule, all_rules
 from repro.analysis.suppressions import SuppressionIndex, scan_suppressions
 
 SYNTAX_ERROR_RULE = "RL000"
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+_DEFAULT_JOBS = min(8, os.cpu_count() or 1)
 
 
 @dataclass
@@ -50,6 +68,9 @@ class AnalysisResult:
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     rules_run: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    files_parsed: int = 0
 
     @property
     def active(self) -> list[Finding]:
@@ -63,37 +84,84 @@ class AnalysisResult:
     def exit_code(self) -> int:
         return 1 if self.active else 0
 
+    def restrict_to(self, paths: set[str]) -> "AnalysisResult":
+        """A copy whose findings are limited to ``paths`` (posix).
+
+        Whole-program analysis still ran over everything — this only
+        narrows what is *reported*, which is what ``--changed-only``
+        wants: cross-module rules stay sound, the report stays scoped.
+        """
+        return AnalysisResult(
+            findings=[f for f in self.findings if f.path in paths],
+            files_scanned=self.files_scanned,
+            rules_run=list(self.rules_run),
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            files_parsed=self.files_parsed,
+        )
+
 
 def collect_files(paths: Sequence[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: set[Path] = set()
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Overlapping arguments (``src src/repro``, ``./src ../repo/src``,
+    a file plus the directory containing it) are deduplicated by
+    normalized path, so no file is ever analyzed — or fixed — twice.
+    """
+    out: dict[str, Path] = {}
+
+    def _add(path: Path) -> None:
+        out.setdefault(os.path.normpath(os.path.abspath(path)), path)
+
     for raw in paths:
-        path = Path(raw)
+        path = Path(os.path.normpath(str(raw)))
         if path.is_file() and path.suffix == ".py":
-            out.add(path)
+            _add(path)
         elif path.is_dir():
-            for candidate in path.rglob("*.py"):
+            for candidate in sorted(path.rglob("*.py")):
                 if not _SKIP_DIRS.intersection(candidate.parts):
-                    out.add(candidate)
+                    _add(candidate)
         elif not path.exists():
             raise FileNotFoundError(f"no such file or directory: {path}")
-    return sorted(out)
+    return sorted(out.values())
 
 
-def load_module(path: Path) -> tuple[SourceModule | None, Finding | None]:
-    """Parse one file; returns (module, None) or (None, syntax finding)."""
-    source = path.read_text(encoding="utf-8")
+def _error_finding(path: Path, line: int, col: int, message: str) -> Finding:
+    return Finding(
+        rule_id=SYNTAX_ERROR_RULE,
+        path=path.as_posix(),
+        line=line,
+        col=col,
+        message=message,
+    )
+
+
+def load_module(path: Path, data: bytes | None = None) -> tuple[SourceModule | None, Finding | None]:
+    """Parse one file; returns (module, None) or (None, typed finding).
+
+    Files that are not valid UTF-8, contain null bytes, or fail to
+    parse produce an ``RL000`` finding instead of raising — a binary
+    blob with a ``.py`` extension must not take down the whole run.
+    """
+    if data is None:
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            return None, _error_finding(path, 1, 0, f"unreadable file: {exc}")
+    try:
+        source = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        return None, _error_finding(
+            path, 1, 0, f"file is not valid UTF-8 (byte offset {exc.start}): cannot analyze"
+        )
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        finding = Finding(
-            rule_id=SYNTAX_ERROR_RULE,
-            path=path.as_posix(),
-            line=exc.lineno or 1,
-            col=(exc.offset or 1) - 1,
-            message=f"syntax error: {exc.msg}",
+        return None, _error_finding(
+            path, exc.lineno or 1, (exc.offset or 1) - 1, f"syntax error: {exc.msg}"
         )
-        return None, finding
+    except ValueError as exc:  # e.g. null bytes in source
+        return None, _error_finding(path, 1, 0, f"unparseable file: {exc}")
     module = SourceModule(
         path=path,
         source=source,
@@ -138,37 +206,139 @@ def select_rules(
     return rules
 
 
+def _run_module_rules(
+    module: SourceModule, rules: Sequence[Rule]
+) -> list[Finding]:
+    """Module-rule findings for one module, suppression-marked."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ModuleRule) and rule.applies_to(module):
+            findings.extend(rule.check_module(module))
+    by_path = {module.posix_path: module}
+    return [_mark_suppressed(f, by_path) for f in findings]
+
+
+def _run_whole_program_rules(
+    modules: list[SourceModule], rules: Sequence[Rule]
+) -> list[Finding]:
+    """Project- and graph-rule findings, suppression-marked."""
+    findings: list[Finding] = []
+    graph: ProjectGraph | None = None
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(modules))
+        elif isinstance(rule, GraphRule):
+            if graph is None:
+                graph = build_graph(modules)
+            findings.extend(rule.check_graph(graph))
+    modules_by_path = {m.posix_path: m for m in modules}
+    return [_mark_suppressed(f, modules_by_path) for f in findings]
+
+
+def _program_fingerprint(hashes: dict[str, str]) -> str:
+    """Fingerprint of the exact (path, content) set under analysis."""
+    digest = hashlib.sha256()
+    for posix_path in sorted(hashes):
+        digest.update(posix_path.encode())
+        digest.update(b"\0")
+        digest.update(hashes[posix_path].encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
 def analyze_paths(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    cache: AnalysisCache | None = None,
+    jobs: int | None = None,
 ) -> AnalysisResult:
     """Run the active rules over every ``.py`` file under ``paths``."""
     rules = select_rules(select, ignore)
     result = AnalysisResult(rules_run=[rule.rule_id for rule in rules])
-    modules: list[SourceModule] = []
-    for path in collect_files(paths):
-        module, error = load_module(path)
-        result.files_scanned += 1
+    files = collect_files(paths)
+    result.files_scanned = len(files)
+    workers = max(1, jobs if jobs is not None else _DEFAULT_JOBS)
+
+    # Phase 1: read + hash every file (I/O, parallel).
+    def _read(path: Path) -> tuple[Path, bytes | None, str | None]:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return path, None, None
+        return path, data, content_hash(data)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        raw_files = list(pool.map(_read, files))
+
+    hashes = {path.as_posix(): sha for path, _, sha in raw_files if sha is not None}
+    fingerprint = _program_fingerprint(hashes)
+
+    # Phase 2: fully-warm fast path — every file hash hits the cache
+    # and the whole-program slice matches the module-set fingerprint:
+    # no parsing at all.
+    if cache is not None:
+        cached_project = cache.lookup_project(fingerprint)
+        cached_modules: list[list[Finding]] = []
+        if cached_project is not None:
+            for path, data, sha in raw_files:
+                if sha is None:
+                    break
+                hit = cache.lookup(path.as_posix(), sha)
+                if hit is None:
+                    break
+                cached_modules.append(hit)
+            else:
+                for found in cached_modules:
+                    result.findings.extend(found)
+                result.findings.extend(cached_project)
+                result.findings.sort(key=Finding.sort_key)
+                result.cache_hits = cache.hits
+                result.cache_misses = cache.misses
+                return result
+
+    # Phase 3: parse everything (whole-program rules need every AST),
+    # but serve module-rule findings from the cache where content is
+    # unchanged.
+    module_rules = [r for r in rules if isinstance(r, ModuleRule)]
+
+    def _analyze_file(
+        item: tuple[Path, bytes | None, str | None],
+    ) -> tuple[SourceModule | None, list[Finding], str | None]:
+        path, data, sha = item
+        module, error = load_module(path, data)
         if error is not None:
-            result.findings.append(error)
-            continue
+            cached = cache.lookup(path.as_posix(), sha) if cache is not None and sha else None
+            if cached is not None:
+                return None, cached, None
+            return None, [error], sha
         assert module is not None
-        modules.append(module)
+        cached = cache.lookup(module.posix_path, sha) if cache is not None and sha else None
+        if cached is not None:
+            return module, cached, None  # None sha: already stored
+        return module, _run_module_rules(module, module_rules), sha
 
-    modules_by_path = {m.posix_path: m for m in modules}
-    for rule in rules:
-        if isinstance(rule, ModuleRule):
-            for module in modules:
-                if rule.applies_to(module):
-                    result.findings.extend(rule.check_module(module))
-        elif isinstance(rule, ProjectRule):
-            result.findings.extend(rule.check_project(modules))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        analyzed = list(pool.map(_analyze_file, raw_files))
 
-    result.findings = sorted(
-        (_mark_suppressed(f, modules_by_path) for f in result.findings),
-        key=Finding.sort_key,
-    )
+    modules: list[SourceModule] = []
+    for (path, _, sha), (module, findings, new_sha) in zip(raw_files, analyzed):
+        if module is not None:
+            modules.append(module)
+            result.files_parsed += 1
+        result.findings.extend(findings)
+        if cache is not None and new_sha is not None:
+            cache.store(path.as_posix(), new_sha, findings)
+
+    project_findings = _run_whole_program_rules(modules, rules)
+    result.findings.extend(project_findings)
+    if cache is not None:
+        cache.store_project(fingerprint, project_findings)
+        cache.prune(set(hashes))
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+
+    result.findings.sort(key=Finding.sort_key)
     return result
 
 
@@ -181,7 +351,8 @@ def analyze_source(
 
     ``path`` participates in rule scoping (e.g. RL001 only fires under
     a ``repro`` package directory), so fixtures pass paths shaped like
-    the real tree.
+    the real tree.  Graph rules see a one-module project graph, which
+    is exactly what single-file fixtures want.
     """
     rules = select_rules(select)
     tree_path = Path(path)
@@ -189,13 +360,7 @@ def analyze_source(
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [
-            Finding(
-                rule_id=SYNTAX_ERROR_RULE,
-                path=tree_path.as_posix(),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
-            )
+            _error_finding(tree_path, exc.lineno or 1, (exc.offset or 1) - 1, f"syntax error: {exc.msg}")
         ]
     module = SourceModule(
         path=tree_path,
@@ -204,12 +369,19 @@ def analyze_source(
         suppressions=scan_suppressions(source),
         aliases=import_aliases(tree),
     )
+    findings = _run_module_rules(module, rules)
+    findings.extend(_run_whole_program_rules([module], rules))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def analyze_modules(
+    modules: list[SourceModule],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint already-parsed modules together (multi-module fixtures)."""
+    rules = select_rules(select)
     findings: list[Finding] = []
-    for rule in rules:
-        if isinstance(rule, ModuleRule):
-            if rule.applies_to(module):
-                findings.extend(rule.check_module(module))
-        elif isinstance(rule, ProjectRule):
-            findings.extend(rule.check_project([module]))
-    marked = [_mark_suppressed(f, {module.posix_path: module}) for f in findings]
-    return sorted(marked, key=Finding.sort_key)
+    for module in modules:
+        findings.extend(_run_module_rules(module, [r for r in rules if isinstance(r, ModuleRule)]))
+    findings.extend(_run_whole_program_rules(modules, rules))
+    return sorted(findings, key=Finding.sort_key)

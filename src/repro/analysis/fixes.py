@@ -1,0 +1,476 @@
+"""Safe autofix engine: AST-anchored, idempotent mechanical rewrites.
+
+``python -m repro.analysis --fix`` turns a subset of findings into
+source rewrites.  The safety contract (DESIGN.md §12):
+
+1. **AST-anchored** — every edit is computed from the exact node span
+   (``lineno``/``col_offset`` .. ``end_lineno``/``end_col_offset``) of
+   the finding's AST node, never from regexes over text.
+2. **Suppression-respecting** — only *active* findings are fixed; a
+   pragma-suppressed finding is never rewritten.
+3. **Verified** — after rewriting, the file is re-parsed and
+   re-linted.  The fix must strictly reduce the findings it targeted
+   and must not introduce findings of any other rule; otherwise the
+   file is restored byte-for-byte and the failure reported.
+4. **Idempotent** — a fixed file yields no further findings for the
+   fixed rules, so a second ``--fix`` run is a byte-exact no-op.
+5. **Previewable** — ``--fix --dry-run`` renders the unified diff of
+   every planned rewrite without touching the tree.
+
+Fixers shipped:
+
+- **RL001** ``np.random.default_rng()`` (no seed) →
+  ``derive_rng("<module>.<scope>")``, threading the sanctioned seeded
+  helper with a stable per-call-site key; also the
+  ``default_factory=np.random.default_rng`` form →
+  ``default_factory=lambda: derive_rng(...)``.  The required
+  ``from repro.util.rng import derive_rng`` import is added once.
+- **RL005** mutable default arguments → ``None`` sentinel plus an
+  in-body fallback (``if x is None: x = <original default>``), with
+  the parameter annotation widened to ``<ann> | None`` when one is
+  present.  Lambdas have no body to patch and are left as findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import (
+    SourceModule,
+    analyze_paths,
+    analyze_source,
+    collect_files,
+    load_module,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.graph import module_name_for
+
+#: Rules the autofixer knows how to rewrite.
+FIXABLE_RULES = ("RL001", "RL005")
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One splice: replace ``source[start:end]`` with ``replacement``."""
+
+    start: int
+    end: int
+    replacement: str
+
+
+@dataclass
+class FileFixResult:
+    """Outcome of fixing one file."""
+
+    path: str
+    fixed: list[Finding] = field(default_factory=list)
+    skipped: list[tuple[Finding, str]] = field(default_factory=list)
+    diff: str = ""
+    applied: bool = False
+    verify_error: str | None = None
+
+
+@dataclass
+class FixResult:
+    """Outcome of a whole ``--fix`` run."""
+
+    files: list[FileFixResult] = field(default_factory=list)
+
+    @property
+    def fixed_count(self) -> int:
+        return sum(len(f.fixed) for f in self.files)
+
+    @property
+    def skipped_count(self) -> int:
+        return sum(len(f.skipped) for f in self.files)
+
+    @property
+    def failed_files(self) -> list[FileFixResult]:
+        return [f for f in self.files if f.verify_error is not None]
+
+    @property
+    def changed_files(self) -> list[FileFixResult]:
+        return [f for f in self.files if f.applied and f.fixed]
+
+
+class _LineIndex:
+    """(line, col) → byte offset for one source string."""
+
+    def __init__(self, source: str) -> None:
+        self._starts = [0]
+        for line in source.splitlines(keepends=True):
+            self._starts.append(self._starts[-1] + len(line))
+
+    def offset(self, line: int, col: int) -> int:
+        return self._starts[line - 1] + col
+
+    def span(self, node: ast.AST) -> tuple[int, int]:
+        end_line = getattr(node, "end_lineno", None)
+        end_col = getattr(node, "end_col_offset", None)
+        if end_line is None or end_col is None:
+            raise ValueError("node has no end position")
+        return (
+            self.offset(node.lineno, node.col_offset),  # type: ignore[attr-defined]
+            self.offset(end_line, end_col),
+        )
+
+
+def _node_at(tree: ast.Module, line: int, col: int, kinds: tuple[type, ...]) -> ast.AST | None:
+    """The outermost node of one of ``kinds`` anchored at (line, col).
+
+    ``ast.walk`` yields outer nodes first, so the first hit is the
+    widest expression at the anchor — ``np.random.default_rng()`` and
+    its nested ``np.random.default_rng`` / ``np`` all share one
+    (line, col); the fixers want the whole call / dotted name.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, kinds):
+            continue
+        if getattr(node, "lineno", None) == line and getattr(node, "col_offset", None) == col:
+            return node
+    return None
+
+
+def _enclosing_scopes(tree: ast.Module, target: ast.AST) -> list[str]:
+    """Names of the def/class scopes enclosing ``target`` (outermost first)."""
+
+    path: list[str] = []
+
+    def _walk(node: ast.AST, scopes: list[str]) -> bool:
+        if node is target:
+            path.extend(scopes)
+            return True
+        for child in ast.iter_child_nodes(node):
+            child_scopes = scopes
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                child_scopes = scopes + [child.name]
+            if _walk(child, child_scopes):
+                return True
+        return False
+
+    _walk(tree, [])
+    return path
+
+
+def _rng_key(module: SourceModule, node: ast.AST) -> str:
+    """Stable derive_rng key for a call site: dotted module + scope."""
+    parts = [module_name_for(module.path.parts)]
+    parts.extend(_enclosing_scopes(module.tree, node))
+    return ".".join(parts)
+
+
+def _has_derive_rng(module: SourceModule) -> bool:
+    if module.aliases.get("derive_rng", "").endswith("util.rng.derive_rng"):
+        return True
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == "derive_rng"
+        for node in module.tree.body
+    )
+
+
+def _import_edit(module: SourceModule, index: _LineIndex) -> Edit:
+    """Insertion of the derive_rng import after the last top-level import
+    (or the module docstring, or at the top of the file)."""
+    insert_after: ast.stmt | None = None
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            insert_after = stmt
+        elif (
+            insert_after is None
+            and isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            insert_after = stmt  # module docstring
+    text = "from repro.util.rng import derive_rng\n"
+    if insert_after is None:
+        return Edit(0, 0, text)
+    end_line = getattr(insert_after, "end_lineno", None) or insert_after.lineno
+    offset = index.offset(end_line + 1, 0)
+    if offset >= len(module.source) and not module.source.endswith("\n"):
+        return Edit(len(module.source), len(module.source), "\n" + text)
+    return Edit(offset, offset, text)
+
+
+# -- RL001: unseeded default_rng ------------------------------------------
+
+
+def _fix_rl001(
+    finding: Finding, module: SourceModule, index: _LineIndex
+) -> tuple[list[Edit], bool] | None:
+    """Edits for one RL001 finding; second element: needs derive_rng import."""
+    node = _node_at(module.tree, finding.line, finding.col, (ast.Call, ast.Attribute, ast.Name))
+    if node is None:
+        return None
+    if isinstance(node, ast.Call):
+        if node.args or node.keywords:
+            return None  # only the bare unseeded form is mechanical
+        start, end = index.span(node)
+        key = _rng_key(module, node)
+        return [Edit(start, end, f'derive_rng("{key}")')], True
+    # default_factory=np.random.default_rng — the finding anchors the
+    # attribute/name expression used as the factory.
+    start, end = index.span(node)
+    key = _rng_key(module, node)
+    return [Edit(start, end, f'lambda: derive_rng("{key}")')], True
+
+
+# -- RL005: mutable default arguments -------------------------------------
+
+
+def _fix_rl005(
+    finding: Finding, module: SourceModule, index: _LineIndex
+) -> tuple[list[Edit], bool] | None:
+    default = _node_at(
+        module.tree,
+        finding.line,
+        finding.col,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp, ast.Call),
+    )
+    if default is None:
+        return None
+    func = _enclosing_function_of(module.tree, default)
+    if func is None or isinstance(func, ast.Lambda):
+        return None  # lambdas have no body to hold the fallback
+    param = _param_for_default(func, default)
+    if param is None:
+        return None
+    edits: list[Edit] = []
+    start, end = index.span(default)
+    default_src = module.source[start:end]
+    edits.append(Edit(start, end, "None"))
+    if param.annotation is not None:
+        ann_start, ann_end = index.span(param.annotation)
+        ann_src = module.source[ann_start:ann_end]
+        if not _annotation_is_optional(param.annotation, ann_src):
+            edits.append(Edit(ann_start, ann_end, f"{ann_src} | None"))
+    edits.append(_guard_insertion(func, param.arg, default_src, module, index))
+    return edits, False
+
+
+def _enclosing_function_of(
+    tree: ast.Module, target: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda | None:
+    found: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda | None = None
+
+    def _walk(node: ast.AST, current: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda | None) -> bool:
+        nonlocal found
+        if node is target:
+            found = current
+            return True
+        for child in ast.iter_child_nodes(node):
+            nxt = current
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # The target is a *default*: defaults evaluate in the
+                # enclosing scope but belong to this function's args.
+                nxt = child if target in ast.walk(child.args) else current
+            if _walk(child, nxt):
+                return True
+        return False
+
+    _walk(tree, None)
+    return found
+
+
+def _param_for_default(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, default: ast.AST
+) -> ast.arg | None:
+    args = func.args
+    positional = [*args.posonlyargs, *args.args]
+    for arg, dflt in zip(positional[len(positional) - len(args.defaults) :], args.defaults):
+        if dflt is default:
+            return arg
+    for arg, kw_dflt in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_dflt is default:
+            return arg
+    return None
+
+
+def _annotation_is_optional(annotation: ast.expr, src: str) -> bool:
+    return "None" in src or "Optional" in src
+
+
+def _guard_insertion(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    param: str,
+    default_src: str,
+    module: SourceModule,
+    index: _LineIndex,
+) -> Edit:
+    """The ``if param is None: param = <default>`` body insertion."""
+    body = func.body
+    insert_before = body[0]
+    if (
+        isinstance(insert_before, ast.Expr)
+        and isinstance(insert_before.value, ast.Constant)
+        and isinstance(insert_before.value.value, str)
+        and len(body) > 1
+    ):
+        insert_before = body[1]  # keep the docstring first
+    indent = " " * insert_before.col_offset
+    offset = index.offset(insert_before.lineno, 0)
+    collapsed = " ".join(part.strip() for part in default_src.splitlines())
+    block = f"{indent}if {param} is None:\n{indent}    {param} = {collapsed}\n"
+    return Edit(offset, offset, block)
+
+
+_FIXERS = {
+    "RL001": _fix_rl001,
+    "RL005": _fix_rl005,
+}
+
+
+# -- application -----------------------------------------------------------
+
+
+def _apply_edits(source: str, edits: Sequence[Edit]) -> str | None:
+    """Splice non-overlapping edits; None when any pair overlaps."""
+    ordered = sorted(edits, key=lambda e: (e.start, e.end))
+    for a, b in zip(ordered, ordered[1:]):
+        if a.end > b.start:
+            return None
+    out: list[str] = []
+    cursor = 0
+    for edit in ordered:
+        out.append(source[cursor : edit.start])
+        out.append(edit.replacement)
+        cursor = edit.end
+    out.append(source[cursor:])
+    return "".join(out)
+
+
+def _finding_counts(findings: Iterable[Finding]) -> Counter:
+    return Counter((f.rule_id, f.message) for f in findings if not f.suppressed)
+
+
+def fix_file(
+    path: Path,
+    select: Iterable[str] | None = None,
+    dry_run: bool = False,
+) -> FileFixResult:
+    """Plan (and unless ``dry_run``, apply) every fix for one file."""
+    result = FileFixResult(path=path.as_posix())
+    module, error = load_module(path)
+    if error is not None:
+        result.verify_error = error.message
+        return result
+    assert module is not None
+    wanted = set(r.upper() for r in select) if select is not None else set(FIXABLE_RULES)
+    wanted &= set(FIXABLE_RULES)
+    if not wanted:
+        return result
+
+    before = analyze_source(module.source, path=result.path)
+    index = _LineIndex(module.source)
+    edits: list[Edit] = []
+    needs_import = False
+    for finding in before:
+        if finding.suppressed or finding.rule_id not in wanted:
+            continue
+        fixer = _FIXERS.get(finding.rule_id)
+        if fixer is None:
+            continue
+        planned = fixer(finding, module, index)
+        if planned is None:
+            result.skipped.append((finding, "no mechanical rewrite for this form"))
+            continue
+        file_edits, import_needed = planned
+        edits.extend(file_edits)
+        needs_import = needs_import or import_needed
+        result.fixed.append(finding)
+    if not result.fixed:
+        return result
+
+    if needs_import and not _has_derive_rng(module):
+        edits.append(_import_edit(module, index))
+
+    fixed_source = _apply_edits(module.source, edits)
+    if fixed_source is None:
+        result.verify_error = "overlapping edits; nothing applied"
+        result.fixed = []
+        return result
+
+    # Verification: the rewrite must parse, must clear the findings it
+    # targeted, and must not introduce findings of any rule.
+    after = analyze_source(fixed_source, path=result.path)
+    if any(f.rule_id == "RL000" for f in after):
+        result.verify_error = "rewrite does not parse; nothing applied"
+        result.fixed = []
+        return result
+    before_counts = _finding_counts(before)
+    after_counts = _finding_counts(after)
+    introduced = after_counts - before_counts
+    still_there = sum(
+        count for (rule, _), count in after_counts.items() if rule in wanted
+    ) >= sum(count for (rule, _), count in before_counts.items() if rule in wanted)
+    if introduced or still_there:
+        result.verify_error = (
+            "re-lint after fix is not clean "
+            f"(introduced={sorted(introduced)!r}); file restored"
+        )
+        result.fixed = []
+        return result
+
+    result.diff = "".join(
+        difflib.unified_diff(
+            module.source.splitlines(keepends=True),
+            fixed_source.splitlines(keepends=True),
+            fromfile=f"a/{result.path}",
+            tofile=f"b/{result.path}",
+        )
+    )
+    if not dry_run:
+        path.write_text(fixed_source, encoding="utf-8")
+        result.applied = True
+    return result
+
+
+def fix_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    dry_run: bool = False,
+) -> FixResult:
+    """Run the autofixer over every ``.py`` file under ``paths``.
+
+    One pass converges: fixes are verified per file, and a second run
+    over an already-fixed tree plans zero edits (byte-exact no-op).
+    """
+    result = FixResult()
+    # A cheap pre-scan narrows the file set to those with fixable
+    # findings — the per-file fixer then re-lints precisely.
+    scan = analyze_paths(paths, select=select)
+    fixable_paths = sorted(
+        {f.path for f in scan.active if f.rule_id in FIXABLE_RULES}
+    )
+    known = {p.as_posix(): p for p in collect_files(paths)}
+    for posix in fixable_paths:
+        path = known.get(posix)
+        if path is None:
+            continue
+        file_result = fix_file(path, select=select, dry_run=dry_run)
+        if file_result.fixed or file_result.skipped or file_result.verify_error:
+            result.files.append(file_result)
+    return result
+
+
+def render_fix_report(result: FixResult, dry_run: bool = False) -> str:
+    """Human-readable summary (plus diffs when previewing)."""
+    lines: list[str] = []
+    for file_result in result.files:
+        if dry_run and file_result.diff:
+            lines.append(file_result.diff.rstrip("\n"))
+        for finding, reason in file_result.skipped:
+            lines.append(f"{finding.location()}: {finding.rule_id} not fixed: {reason}")
+        if file_result.verify_error:
+            lines.append(f"{file_result.path}: fix verification failed: {file_result.verify_error}")
+    verb = "would fix" if dry_run else "fixed"
+    lines.append(
+        f"{verb} {result.fixed_count} finding(s) in {len(result.changed_files) if not dry_run else len([f for f in result.files if f.diff])} file(s)"
+        + (f"; {result.skipped_count} unfixable" if result.skipped_count else "")
+    )
+    return "\n".join(lines)

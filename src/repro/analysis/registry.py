@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Type, TypeVar
 if TYPE_CHECKING:
     from repro.analysis.engine import SourceModule
     from repro.analysis.findings import Finding
+    from repro.analysis.graph import ProjectGraph
 
 
 class Rule:
@@ -46,6 +47,19 @@ class ProjectRule(Rule):
     """A rule evaluated once over the full set of scanned modules."""
 
     def check_project(self, modules: "Iterable[SourceModule]") -> Iterator["Finding"]:
+        raise NotImplementedError
+
+
+class GraphRule(Rule):
+    """A rule evaluated once over the whole-program :class:`ProjectGraph`.
+
+    Graph rules see the project's symbol/import/call graph (built once
+    per run) in addition to every parsed module, which is what
+    cross-module invariants — epoch stamping, call-graph wall-clock
+    reachability, verify-before-buffer domination — need.
+    """
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterator["Finding"]:
         raise NotImplementedError
 
 

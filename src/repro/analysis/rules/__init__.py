@@ -8,6 +8,9 @@ from repro.analysis.rules.rl005_mutable_defaults import MutableDefaultArgsRule
 from repro.analysis.rules.rl006_handler_purity import HandlerPurityRule
 from repro.analysis.rules.rl007_fwdtab_text_format import ForwardingTableFormatRule
 from repro.analysis.rules.rl008_measurement_windows import MeasurementWindowRule
+from repro.analysis.rules.rl009_epoch_monotonicity import EpochMonotonicityRule
+from repro.analysis.rules.rl010_wallclock_reachability import WallClockReachabilityRule
+from repro.analysis.rules.rl011_unverified_buffering import UnverifiedBufferingRule
 
 __all__ = [
     "UnseededRngRule",
@@ -18,4 +21,7 @@ __all__ = [
     "HandlerPurityRule",
     "ForwardingTableFormatRule",
     "MeasurementWindowRule",
+    "EpochMonotonicityRule",
+    "WallClockReachabilityRule",
+    "UnverifiedBufferingRule",
 ]

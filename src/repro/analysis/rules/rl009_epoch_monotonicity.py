@@ -1,0 +1,122 @@
+"""RL009 — config-epoch monotonicity (whole-program).
+
+The staleness defense (DESIGN.md §11) only works if every
+``NC_FORWARD_TAB`` / ``NC_SETTINGS`` signal carries the controller's
+live, monotonically-increasing config epoch: daemons reject configs
+older than the newest they have applied, so a pre-failure table delayed
+across a healing replan cannot clobber the recovery route.  A single
+call site that constructs one of these signals without stamping an
+epoch (the dataclass default is 0) or with a hard-coded literal quietly
+re-opens that hole — the signal *delivers*, the defense just never
+engages.
+
+This rule walks every module in the project graph and flags, inside
+the ``repro`` package:
+
+- a ``NcForwardTab(...)`` / ``NcSettings(...)`` construction with **no
+  ``epoch=`` keyword** — the silent default-0 stamp;
+- one whose ``epoch=`` is a **literal constant** — a frozen epoch can
+  never be newer than an applied config, so it is either dead weight
+  or, worse, permanently stale after the first replan.
+
+The blessed pattern is stamping a *live* epoch expression
+(``epoch=self.config_epoch``, ``epoch=epoch`` threaded from the
+controller).  Construction is resolved through the project symbol
+graph, so aliased imports (``from repro.core import signals``,
+``from .signals import NcForwardTab as FT``) are all caught.  Tests
+and benchmarks are out of scope: epoch-0 ad-hoc pushes are part of the
+documented protocol there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.astutil import call_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import GraphRule, register
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import SourceModule
+    from repro.analysis.graph import ProjectGraph
+
+#: The config-carrying signal classes (repro.core.signals).
+_CONFIG_SIGNALS = {"NcForwardTab", "NcSettings"}
+
+#: Alias-expanded suffixes that identify the signal classes even when
+#: the defining module is outside the scanned set (single-file
+#: fixtures, partial scans).
+_SIGNAL_SUFFIXES = tuple(
+    f"signals.{name}" for name in _CONFIG_SIGNALS
+)
+
+
+def _is_config_signal_call(dotted: str, graph: "ProjectGraph", from_module: str) -> str | None:
+    """The signal class name if ``dotted`` constructs one, else None."""
+    tail = dotted.rsplit(".", 1)[-1]
+    if tail not in _CONFIG_SIGNALS:
+        return None
+    resolved = graph.resolve(dotted, from_module)
+    if resolved is not None:
+        # Project-resolved: accept only the real definitions in a
+        # ``signals`` module (not a same-named local class).
+        mod = resolved.rsplit(".", 1)[0]
+        return tail if mod.endswith("signals") else None
+    # Unresolved (class defined outside the scan): trust the
+    # alias-expanded dotted path.
+    return tail if dotted.endswith(_SIGNAL_SUFFIXES) else None
+
+
+@register
+class EpochMonotonicityRule(GraphRule):
+    rule_id = "RL009"
+    name = "epoch-monotonicity"
+    description = "NC_FORWARD_TAB/NC_SETTINGS constructed without a live config-epoch stamp"
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        for mod_name, module in graph.modules.items():
+            if not module.in_package("repro"):
+                continue
+            if module.posix_path.endswith("core/signals.py"):
+                continue  # the definitions themselves
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = call_name(node, module.aliases)
+                if dotted is None:
+                    continue
+                signal = _is_config_signal_call(dotted, graph, mod_name)
+                if signal is None:
+                    continue
+                yield from self._check_construction(node, signal, module)
+
+    def _check_construction(
+        self, node: ast.Call, signal: str, module: "SourceModule"
+    ) -> Iterator[Finding]:
+        epoch_kw = next((kw for kw in node.keywords if kw.arg == "epoch"), None)
+        if epoch_kw is None:
+            yield self._finding(
+                node,
+                module,
+                f"{signal}(...) without an epoch= stamp: the default epoch 0 silently "
+                "disables the stale-config defense — stamp the controller's live "
+                "config_epoch (DESIGN.md §11)",
+            )
+        elif isinstance(epoch_kw.value, ast.Constant):
+            yield self._finding(
+                epoch_kw.value,
+                module,
+                f"{signal}(...) with a hard-coded epoch={epoch_kw.value.value!r}: a frozen "
+                "epoch can never supersede an applied config — thread the controller's "
+                "monotonic config_epoch instead",
+            )
+
+    def _finding(self, node: ast.AST, module: "SourceModule", message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.posix_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

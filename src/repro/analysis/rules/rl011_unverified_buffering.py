@@ -1,0 +1,187 @@
+"""RL011 — verify-before-buffer domination (whole-program).
+
+One polluted :class:`~repro.rlnc.packet.CodedPacket` mixed into a
+recoder or generation buffer contaminates every downstream linear
+combination (classic RLNC pollution); the dirty-wire hardening
+(DESIGN.md §11) therefore gates every VNF/receiver ingress with
+``packet.verify()`` *before* the packet can reach coded state.  This
+rule makes that contract machine-checked:
+
+A **buffering sink** is a call ``X.add(...)`` whose receiver name
+names coded state (contains ``buffer`` / ``recoder`` / ``decoder``)
+and whose arguments include a tracked coded-packet value.  Tracked
+values in a function are
+
+- parameters annotated ``CodedPacket``, and
+- names narrowed by an ``isinstance(name, CodedPacket)`` check (the
+  ``dgram.payload`` unwrap pattern at ingress handlers).
+
+A sink is *verified* when ``<packet>.verify()`` is called earlier in
+the same function, or — the pipelined VNF shape, where the verify gate
+lives one frame up — when **every** project caller of the enclosing
+function performs a ``verify()`` on a tracked packet (transitively, up
+to three frames).  A sink with no verifying dominator, or in a
+function no project caller reaches (dead ingress — nothing proves the
+gate exists), is flagged.
+
+Scope: the ``repro`` package.  Test fixtures feed buffers directly on
+purpose and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import GraphRule, register
+
+if TYPE_CHECKING:
+    from repro.analysis.graph import FunctionInfo, ProjectGraph
+
+_PACKET_TYPE = "CodedPacket"
+
+_STATE_MARKERS = ("buffer", "recoder", "decoder")
+
+_MAX_CALLER_DEPTH = 3
+
+
+def _tracked_packet_names(func_node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names holding a CodedPacket in this function (params + isinstance)."""
+    names: set[str] = set()
+    args = func_node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        ann = arg.annotation
+        if ann is not None and _names_packet_type(ann):
+            names.add(arg.arg)
+    for node in ast.walk(func_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+            and isinstance(node.args[0], ast.Name)
+            and _names_packet_type(node.args[1])
+        ):
+            names.add(node.args[0].id)
+    return names
+
+
+def _names_packet_type(node: ast.expr) -> bool:
+    """True when an annotation/type expression names CodedPacket."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == _PACKET_TYPE:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == _PACKET_TYPE:
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str) and _PACKET_TYPE in sub.value:
+            return True
+    return False
+
+
+def _receiver_names_state(func: ast.expr) -> bool:
+    """``X.add`` where X's terminal name looks like coded state."""
+    if not (isinstance(func, ast.Attribute) and func.attr == "add"):
+        return False
+    base = func.value
+    name = None
+    if isinstance(base, ast.Name):
+        name = base.id
+    elif isinstance(base, ast.Attribute):
+        name = base.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(marker in lowered for marker in _STATE_MARKERS)
+
+
+def _verify_lines(func_node: ast.FunctionDef | ast.AsyncFunctionDef, tracked: set[str]) -> list[int]:
+    """Lines where ``<tracked>.verify()`` is called in this function."""
+    lines: list[int] = []
+    for node in ast.walk(func_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "verify"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in tracked
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def _callers_verify(
+    func: "FunctionInfo", graph: "ProjectGraph", depth: int, seen: set[str]
+) -> bool:
+    """True when every project caller path performs a verify() gate."""
+    if depth > _MAX_CALLER_DEPTH:
+        return False
+    callers = graph.callers_of(func.qualname)
+    if not callers:
+        return False
+    for caller_name in callers:
+        if caller_name in seen:
+            continue  # recursion: neither proves nor disproves; skip
+        caller = graph.functions[caller_name]
+        tracked = _tracked_packet_names(caller.node)
+        if _verify_lines(caller.node, tracked):
+            continue
+        if not _callers_verify(caller, graph, depth + 1, seen | {caller_name}):
+            return False
+    return True
+
+
+@register
+class UnverifiedBufferingRule(GraphRule):
+    rule_id = "RL011"
+    name = "unverified-buffering"
+    description = "CodedPacket reaches a generation/recode buffer without a dominating verify()"
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        for func in graph.functions.values():
+            module = graph.modules.get(func.module)
+            if module is None or not module.in_package("repro"):
+                continue
+            if "repro/rlnc/" in func.path:
+                continue  # the codec itself: buffers are its internals
+            tracked = _tracked_packet_names(func.node)
+            if not tracked:
+                continue
+            sinks = self._sinks(func, tracked)
+            if not sinks:
+                continue
+            verify_at = _verify_lines(func.node, tracked)
+            callers_ok: bool | None = None
+            for sink, packet_name in sinks:
+                if any(line < sink.lineno for line in verify_at):
+                    continue
+                if callers_ok is None:
+                    callers_ok = _callers_verify(func, graph, 1, {func.qualname})
+                if callers_ok:
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=func.path,
+                    line=sink.lineno,
+                    col=sink.col_offset,
+                    message=(
+                        f"CodedPacket {packet_name!r} buffered in {func.name}() without a "
+                        "dominating verify(): one polluted packet mixed into coded state "
+                        "contaminates every downstream combination — gate the ingress with "
+                        "packet.verify() (DESIGN.md §11)"
+                    ),
+                )
+
+    def _sinks(
+        self, func: "FunctionInfo", tracked: set[str]
+    ) -> list[tuple[ast.Call, str]]:
+        out: list[tuple[ast.Call, str]] = []
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call) or not _receiver_names_state(node.func):
+                continue
+            packet_arg = next(
+                (a.id for a in node.args if isinstance(a, ast.Name) and a.id in tracked), None
+            )
+            if packet_arg is not None:
+                out.append((node, packet_arg))
+        return out

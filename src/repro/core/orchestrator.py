@@ -41,6 +41,12 @@ class Orchestration:
     bus: SignalBus
     daemons: dict = dataclass_field(default_factory=dict)
     scheduler: EventScheduler | None = None
+    # Monotonic config epoch for this orchestration's pushes.  The
+    # initial deploy stamps epoch 1; anything re-pushing configuration
+    # later (a replan, a manual table update) must bump it first so
+    # daemons can reject deliveries delayed from before the newer push
+    # (DESIGN.md §11).
+    config_epoch: int = 1
 
     def run(self, duration_s: float) -> None:
         self.scheduler.run(until=self.scheduler.now + duration_s)
@@ -88,6 +94,7 @@ class Orchestrator:
             configure=False,
         )
         orchestration = Orchestration(plan=plan, deployment=deployment, bus=bus, scheduler=scheduler)
+        epoch = orchestration.config_epoch
 
         # One daemon per coding node (multi-instance clusters share a
         # name; the daemon fans configuration out to every instance).
@@ -115,10 +122,11 @@ class Orchestrator:
                     generation_bytes=any_session.coding.generation_bytes,
                     block_bytes=any_session.coding.block_bytes,
                     shapes=shapes,
+                    epoch=epoch,
                 )
             )
             table = ForwardingTable({sid: hops for sid, (_, hops, _) in per_session.items()})
-            bus.send(NcForwardTab(target=name, table_text=table.serialize()))
+            bus.send(NcForwardTab(target=name, table_text=table.serialize(), epoch=epoch))
 
         # Sources wait for NC_START.
         for sid, source in deployment.sources.items():

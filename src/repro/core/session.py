@@ -30,7 +30,7 @@ class CodingConfig:
     redundancy: RedundancyPolicy = field(default_factory=RedundancyPolicy)
     field_order: int = 256
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.block_bytes <= 0:
             raise ValueError("block_bytes must be positive")
         if not 1 <= self.blocks_per_generation <= 255:
@@ -59,13 +59,13 @@ class MulticastSession:
     """One multicast session owned by the service provider."""
 
     source: str
-    receivers: list
+    receivers: list[str]
     max_delay_ms: float = 150.0
     fixed_rate_mbps: float | None = None
     coding: CodingConfig = field(default_factory=CodingConfig)
     session_id: int = field(default_factory=lambda: next(_session_ids))
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.receivers = list(self.receivers)
         if not self.receivers:
             raise ValueError("a session needs at least one receiver")

@@ -67,7 +67,7 @@ class CodingVnf(Node):
         rng: np.random.Generator | None = None,
         payload_mode: str = "full",
         coding_overhead_s: float = 90e-6,
-    ):
+    ) -> None:
         super().__init__(name, scheduler)
         if coding_capacity_mbps <= 0:
             raise ValueError("coding capacity must be positive")
@@ -92,13 +92,15 @@ class CodingVnf(Node):
         # the first recode already mixes both incoming branches, and the
         # emission cap matches the conceptual-flow allocation instead of
         # flooding the link.
-        self._hop_shapes: dict[tuple, tuple] = {}   # (session, hop) -> (skip, emit)
-        self._hop_progress: dict[tuple, list] = {}  # (session, hop, generation) -> [arrivals, emitted]
+        # (session, hop) -> (skip, emit-cap)
+        self._hop_shapes: dict[tuple[int, str], tuple[int, int | None]] = {}
+        # (session, hop, generation) -> [arrivals, emitted]
+        self._hop_progress: dict[tuple[int, str, int], list[int]] = {}
         self._payload_bytes: dict[int, int] = {}    # session -> last seen wire payload size
         self.forwarding_table = ForwardingTable()
         self.buffers: dict[int, GenerationBuffer] = {}
-        self._recoders: dict[tuple, Recoder] = {}
-        self._decoders: dict[tuple, Decoder] = {}
+        self._recoders: dict[tuple[int, int], Recoder] = {}
+        self._decoders: dict[tuple[int, int], Decoder] = {}
         self._delivery: dict[int, Callable[[int, Generation], None]] = {}
 
         self._busy_until = 0.0
@@ -155,8 +157,8 @@ class CodingVnf(Node):
             raise ValueError("shape parameters cannot be negative")
         if skip_arrivals == 0 and emit_per_generation is None:
             self._hop_shapes.pop((session_id, next_hop), None)
-            for key in [k for k in self._hop_progress if k[0] == session_id and k[1] == next_hop]:
-                del self._hop_progress[key]
+            for progress_key in [k for k in self._hop_progress if k[0] == session_id and k[1] == next_hop]:
+                del self._hop_progress[progress_key]
             return
         self._hop_shapes[(session_id, next_hop)] = (skip_arrivals, emit_per_generation)
 
@@ -198,14 +200,14 @@ class CodingVnf(Node):
         self.buffers.pop(session_id, None)
         self._delivery.pop(session_id, None)
         self._payload_bytes.pop(session_id, None)
-        for key in [k for k in self._hop_shapes if k[0] == session_id]:
-            del self._hop_shapes[key]
-        for key in [k for k in self._hop_progress if k[0] == session_id]:
-            del self._hop_progress[key]
-        for key in [k for k in self._recoders if k[0] == session_id]:
-            del self._recoders[key]
-        for key in [k for k in self._decoders if k[0] == session_id]:
-            del self._decoders[key]
+        for shape_key in [k for k in self._hop_shapes if k[0] == session_id]:
+            del self._hop_shapes[shape_key]
+        for progress_key in [k for k in self._hop_progress if k[0] == session_id]:
+            del self._hop_progress[progress_key]
+        for recoder_key in [k for k in self._recoders if k[0] == session_id]:
+            del self._recoders[recoder_key]
+        for decoder_key in [k for k in self._decoders if k[0] == session_id]:
+            del self._decoders[decoder_key]
 
     def apply_forwarding_table(self, new_table: ForwardingTable) -> float:
         """Replace the forwarding table; returns the pause duration.
@@ -314,8 +316,8 @@ class CodingVnf(Node):
             evicted = before - set(buffer.generations())
             for gen_id in evicted:
                 self._recoders.pop((original.session_id, gen_id), None)
-                for key in [k for k in self._hop_progress if k[0] == original.session_id and k[2] == gen_id]:
-                    del self._hop_progress[key]
+                for stale in [k for k in self._hop_progress if k[0] == original.session_id and k[2] == gen_id]:
+                    del self._hop_progress[stale]
         elif not buffer.add(original.generation_id, original):
             # A wire-duplicated copy adds no degree of freedom: emitting
             # a recode for it would just burn downstream bandwidth.
@@ -333,8 +335,8 @@ class CodingVnf(Node):
                 self.send(hop, out, payload_bytes, dst_port=NC_PORT)
                 continue
             skip, emit_cap = shape
-            key = (original.session_id, hop, original.generation_id)
-            progress = self._hop_progress.setdefault(key, [0, 0])
+            hop_key = (original.session_id, hop, original.generation_id)
+            progress = self._hop_progress.setdefault(hop_key, [0, 0])
             progress[0] += 1
             if progress[0] > skip and (emit_cap is None or progress[1] < emit_cap):
                 progress[1] += 1
@@ -395,7 +397,7 @@ class VnfDispatcher(Node):
     delay of its own.
     """
 
-    def __init__(self, name: str, scheduler: EventScheduler):
+    def __init__(self, name: str, scheduler: EventScheduler) -> None:
         super().__init__(name, scheduler)
         self.instances: list[CodingVnf] = []
         self.listen(NC_PORT, self._dispatch)

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+import ast
 import textwrap
+from pathlib import Path
 
 from repro.analysis import analyze_source
+from repro.analysis.astutil import import_aliases
+from repro.analysis.engine import SourceModule, analyze_modules
 from repro.analysis.findings import Finding
+from repro.analysis.suppressions import scan_suppressions
 
 
 def lint(
@@ -13,6 +18,27 @@ def lint(
 ) -> list[Finding]:
     """Lint a dedented snippet as if it lived at ``path``."""
     return analyze_source(textwrap.dedent(source), path=path, select=select)
+
+
+def make_module(source: str, path: str) -> SourceModule:
+    """Parse a dedented snippet into a SourceModule at ``path``."""
+    src = textwrap.dedent(source)
+    tree = ast.parse(src, filename=path)
+    return SourceModule(
+        path=Path(path),
+        source=src,
+        tree=tree,
+        suppressions=scan_suppressions(src),
+        aliases=import_aliases(tree),
+    )
+
+
+def lint_modules(
+    sources: dict[str, str], select: list[str] | None = None
+) -> list[Finding]:
+    """Lint several snippets together as one project (path -> source)."""
+    modules = [make_module(src, path) for path, src in sources.items()]
+    return analyze_modules(modules, select=select)
 
 
 def active_ids(findings: list[Finding]) -> list[str]:

@@ -1,0 +1,59 @@
+"""Baseline ratchet: accepted debt in, new findings out."""
+
+import json
+
+from repro.analysis.baseline import (
+    finding_key,
+    load_baseline,
+    new_findings,
+    save_baseline,
+)
+from repro.analysis.findings import Finding
+
+
+def _finding(rule="RL009", path="src/repro/a.py", line=5, message="unstamped"):
+    return Finding(rule_id=rule, path=path, line=line, col=0, message=message)
+
+
+def test_roundtrip(tmp_path):
+    target = tmp_path / "baseline.json"
+    findings = [_finding(), _finding(rule="RL001", message="rng")]
+    assert save_baseline(target, findings) == 2
+    assert load_baseline(target) == {finding_key(f) for f in findings}
+
+
+def test_key_ignores_line_numbers():
+    a = _finding(line=5)
+    b = _finding(line=500)
+    assert finding_key(a) == finding_key(b)
+    assert new_findings([b], {finding_key(a)}) == []
+
+
+def test_new_finding_not_in_baseline_gates():
+    baseline = {finding_key(_finding())}
+    fresh = _finding(message="a different violation")
+    assert new_findings([_finding(), fresh], baseline) == [fresh]
+
+
+def test_suppressed_findings_never_gate_or_enter_baseline(tmp_path):
+    suppressed = Finding(
+        rule_id="RL009", path="src/repro/a.py", line=1, col=0, message="x", suppressed=True
+    )
+    target = tmp_path / "baseline.json"
+    assert save_baseline(target, [suppressed]) == 0
+    assert new_findings([suppressed], set()) == []
+
+
+def test_missing_or_corrupt_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == set()
+    bad = tmp_path / "bad.json"
+    bad.write_text("{oops", encoding="utf-8")
+    assert load_baseline(bad) == set()
+    wrong_version = tmp_path / "wrong.json"
+    wrong_version.write_text(json.dumps({"version": 99, "entries": []}), encoding="utf-8")
+    assert load_baseline(wrong_version) == set()
+
+
+def test_duplicate_messages_collapse_to_one_entry(tmp_path):
+    target = tmp_path / "baseline.json"
+    assert save_baseline(target, [_finding(line=1), _finding(line=2)]) == 1

@@ -1,0 +1,135 @@
+"""Incremental cache: correctness and the warm-run speedup guarantee."""
+
+import json
+import time
+
+from repro.analysis.cache import CACHE_VERSION, AnalysisCache, load_cache, rules_key
+from repro.analysis.engine import analyze_paths, select_rules
+
+_RULE_IDS = [r.rule_id for r in select_rules(None)]
+
+
+def _make_tree(root, n_files=30, violate_in=()):
+    pkg = root / "src" / "repro" / "gen"
+    pkg.mkdir(parents=True)
+    body = "\n".join(
+        f"def fn_{i}(x):\n"
+        f"    acc = x + {i}\n"
+        f"    for j in range(10):\n"
+        f"        acc = acc * 2 - j\n"
+        f"    return acc\n" for i in range(40)
+    )
+    for idx in range(n_files):
+        extra = ""
+        if idx in violate_in:
+            extra = "\nimport numpy as np\n\ndef bad():\n    return np.random.default_rng()\n"
+        (pkg / f"mod_{idx:03d}.py").write_text(f'"""Module {idx}."""\n\n{body}{extra}', encoding="utf-8")
+    return root / "src"
+
+
+def test_warm_run_serves_everything_from_cache(tmp_path):
+    tree = _make_tree(tmp_path, violate_in={3})
+    cache_file = tmp_path / "cache.json"
+
+    cache = load_cache(cache_file, _RULE_IDS)
+    cold = analyze_paths([tree], cache=cache)
+    cache.save()
+    assert cold.cache_hits == 0
+    assert [f.rule_id for f in cold.active] == ["RL001"]
+
+    warm_cache = load_cache(cache_file, _RULE_IDS)
+    warm = analyze_paths([tree], cache=warm_cache)
+    assert warm.cache_misses == 0
+    assert warm.files_parsed == 0  # fully-warm fast path: no AST work at all
+    assert [f.rule_id for f in warm.active] == ["RL001"]
+    assert [f.location() for f in warm.active] == [f.location() for f in cold.active]
+
+
+def test_warm_run_is_at_least_5x_faster(tmp_path):
+    tree = _make_tree(tmp_path, n_files=40)
+    cache_file = tmp_path / "cache.json"
+
+    cache = load_cache(cache_file, _RULE_IDS)
+    t0 = time.perf_counter()
+    analyze_paths([tree], cache=cache)
+    cold_s = time.perf_counter() - t0
+    cache.save()
+
+    warm_cache = load_cache(cache_file, _RULE_IDS)
+    t0 = time.perf_counter()
+    analyze_paths([tree], cache=warm_cache)
+    warm_s = time.perf_counter() - t0
+
+    assert warm_s * 5 <= cold_s, (
+        f"warm run {warm_s * 1e3:.1f}ms not >=5x faster than cold {cold_s * 1e3:.1f}ms"
+    )
+
+
+def test_single_file_edit_invalidates_only_that_module(tmp_path):
+    tree = _make_tree(tmp_path, n_files=10)
+    cache_file = tmp_path / "cache.json"
+    cache = load_cache(cache_file, _RULE_IDS)
+    analyze_paths([tree], cache=cache)
+    cache.save()
+
+    edited = tree / "repro" / "gen" / "mod_004.py"
+    edited.write_text(
+        edited.read_text(encoding="utf-8")
+        + "\nimport numpy as np\n\ndef bad():\n    return np.random.default_rng()\n",
+        encoding="utf-8",
+    )
+
+    warm_cache = load_cache(cache_file, _RULE_IDS)
+    result = analyze_paths([tree], cache=warm_cache)
+    # Only the edited file misses; findings reflect the edit.
+    assert warm_cache.misses == 1
+    assert [f.rule_id for f in result.active] == ["RL001"]
+    assert result.active[0].path.endswith("mod_004.py")
+
+
+def test_cache_discarded_on_version_or_rules_mismatch(tmp_path):
+    tree = _make_tree(tmp_path, n_files=3)
+    cache_file = tmp_path / "cache.json"
+    cache = load_cache(cache_file, _RULE_IDS)
+    analyze_paths([tree], cache=cache)
+    cache.save()
+
+    # Different active rule set: same file, fresh cache.
+    assert load_cache(cache_file, ["RL001"]).entries == {}
+
+    # Future engine version: discarded wholesale.
+    doc = json.loads(cache_file.read_text(encoding="utf-8"))
+    doc["version"] = CACHE_VERSION + 1
+    doc["rules"] = rules_key(_RULE_IDS)
+    cache_file.write_text(json.dumps(doc), encoding="utf-8")
+    assert load_cache(cache_file, _RULE_IDS).entries == {}
+
+
+def test_corrupt_cache_file_starts_empty(tmp_path):
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json", encoding="utf-8")
+    cache = load_cache(cache_file, _RULE_IDS)
+    assert cache.entries == {}
+    assert cache.graph_fingerprint is None
+
+
+def test_prune_drops_removed_files(tmp_path):
+    tree = _make_tree(tmp_path, n_files=4)
+    cache_file = tmp_path / "cache.json"
+    cache = load_cache(cache_file, _RULE_IDS)
+    analyze_paths([tree], cache=cache)
+    cache.save()
+    assert len(cache.entries) == 4
+
+    (tree / "repro" / "gen" / "mod_003.py").unlink()
+    warm_cache = load_cache(cache_file, _RULE_IDS)
+    analyze_paths([tree], cache=warm_cache)
+    assert len(warm_cache.entries) == 3
+    assert not any(p.endswith("mod_003.py") for p in warm_cache.entries)
+
+
+def test_cache_never_used_across_rule_sets():
+    cache = AnalysisCache(rules=rules_key(["RL001"]))
+    cache.store("a.py", "sha", [])
+    assert cache.lookup("a.py", "sha") == []
+    assert cache.lookup("a.py", "other-sha") is None

@@ -40,7 +40,10 @@ class TestCleanTree:
         assert payload["findings"] == []
         assert payload["exit_code"] == 0
         assert payload["files_scanned"] > 50
-        assert payload["rules_run"] == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"]
+        assert payload["rules_run"] == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009", "RL010", "RL011",
+        ]
 
     def test_full_tree_text_clean(self):
         proc = run_cli("src", "tests", "benchmarks", "examples")

@@ -1,0 +1,142 @@
+"""CLI gate modes: --fix, --sarif, --baseline, --cache, --changed-only.
+
+This is also the CI-gate regression suite demanded by the analyzer
+design: a seeded violation (an unstamped ``NC_FORWARD_TAB`` push) must
+fail the exact invocation CI runs, and must stop failing once accepted
+into a baseline — without letting a *second* violation through.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+UNSTAMPED_PUSH = """\
+    from repro.core.signals import NcForwardTab
+
+
+    def push(bus, name, text):
+        bus.send(NcForwardTab(target=name, table_text=text))
+"""
+
+
+@pytest.fixture()
+def seeded_tree(tmp_path, monkeypatch):
+    """A scratch repo layout with one seeded RL009 violation."""
+    pkg = tmp_path / "src" / "repro" / "ctrl"
+    pkg.mkdir(parents=True)
+    (pkg / "push.py").write_text(textwrap.dedent(UNSTAMPED_PUSH), encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestSeededViolationGate:
+    def test_ci_invocation_fails_on_seeded_violation(self, seeded_tree, capsys):
+        # The same flags .github/workflows/ci.yml passes on main.
+        code = main(["src", "--baseline", "bl.json", "--sarif", "out.sarif"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL009" in out and "without an epoch= stamp" in out
+        sarif = json.loads(Path("out.sarif").read_text(encoding="utf-8"))
+        assert [r["ruleId"] for r in sarif["runs"][0]["results"]] == ["RL009"]
+
+    def test_baseline_accepts_then_blocks_new_debt(self, seeded_tree, capsys):
+        assert main(["src", "--update-baseline", "--baseline", "bl.json"]) == 0
+        assert main(["src", "--baseline", "bl.json"]) == 0
+
+        # A second, different violation is new debt: the gate closes.
+        push = seeded_tree / "src" / "repro" / "ctrl" / "push.py"
+        push.write_text(
+            push.read_text(encoding="utf-8")
+            + "\n\ndef push2(bus, name):\n"
+            "    from repro.core.signals import NcSettings\n"
+            "    bus.send(NcSettings(target=name))\n",
+            encoding="utf-8",
+        )
+        capsys.readouterr()
+        assert main(["src", "--baseline", "bl.json"]) == 1
+        assert "NcSettings" in capsys.readouterr().out
+
+    def test_fixing_the_violation_clears_the_gate(self, seeded_tree):
+        push = seeded_tree / "src" / "repro" / "ctrl" / "push.py"
+        push.write_text(
+            textwrap.dedent(
+                """\
+                from repro.core.signals import NcForwardTab
+
+
+                def push(bus, name, text, epoch):
+                    bus.send(NcForwardTab(target=name, table_text=text, epoch=epoch))
+                """
+            ),
+            encoding="utf-8",
+        )
+        assert main(["src", "--baseline", "bl.json"]) == 0
+
+
+class TestFixCli:
+    @pytest.fixture()
+    def fixable_tree(self, tmp_path, monkeypatch):
+        pkg = tmp_path / "src" / "repro" / "demo"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(
+            "import numpy as np\n\n\ndef f():\n    return np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        return pkg / "mod.py"
+
+    def test_fix_rewrites_and_exits_zero(self, fixable_tree, capsys):
+        assert main(["src", "--fix"]) == 0
+        assert "fixed 1 finding(s)" in capsys.readouterr().out
+        assert "derive_rng(" in fixable_tree.read_text(encoding="utf-8")
+
+    def test_fix_dry_run_previews_without_writing(self, fixable_tree, capsys):
+        before = fixable_tree.read_bytes()
+        assert main(["src", "--fix", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would fix 1 finding(s)" in out and "+++" in out
+        assert fixable_tree.read_bytes() == before
+
+    def test_second_fix_run_is_noop(self, fixable_tree, capsys):
+        assert main(["src", "--fix"]) == 0
+        after = fixable_tree.read_bytes()
+        assert main(["src", "--fix"]) == 0
+        assert fixable_tree.read_bytes() == after
+        assert "fixed 0 finding(s)" in capsys.readouterr().out
+
+
+class TestCacheCli:
+    def test_cache_file_written_and_reused(self, seeded_tree, capsys):
+        assert main(["src", "--cache", "c.json", "--format", "json"]) == 1
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache_misses"] > 0
+        assert Path("c.json").is_file()
+
+        assert main(["src", "--cache", "c.json", "--format", "json"]) == 1
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_misses"] == 0
+        assert [f["rule_id"] for f in second["findings"]] == [
+            f["rule_id"] for f in first["findings"]
+        ]
+
+
+class TestChangedOnly:
+    def test_unresolvable_base_falls_back_to_full_report(self, seeded_tree, capsys):
+        # Not a git repo: fail safe by reporting everything.
+        code = main(["src", "--changed-only", "--base", "no-such-ref"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "RL009" in captured.out
+        assert "cannot diff" in captured.err
+
+
+class TestSarifStdout:
+    def test_format_sarif_prints_document(self, seeded_tree, capsys):
+        assert main(["src", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["RL009"]

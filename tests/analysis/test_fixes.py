@@ -1,0 +1,232 @@
+"""Autofix engine: safety contract (anchored, verified, idempotent)."""
+
+import textwrap
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.fixes import fix_file, fix_paths, render_fix_report
+
+
+def _write(tmp_path, source, name="mod.py"):
+    pkg = tmp_path / "src" / "repro" / "demo"
+    pkg.mkdir(parents=True, exist_ok=True)
+    path = pkg / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_rl001_bare_call_rewritten_with_import(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        \"\"\"Demo.\"\"\"
+
+        import numpy as np
+
+
+        def make_gen():
+            return np.random.default_rng()
+        """,
+    )
+    result = fix_file(path)
+    assert result.applied and len(result.fixed) == 1
+    fixed = path.read_text(encoding="utf-8")
+    assert 'derive_rng("repro.demo.mod.make_gen")' in fixed
+    assert "from repro.util.rng import derive_rng" in fixed
+    assert "default_rng()" not in fixed
+
+
+def test_rl001_default_factory_rewritten_as_lambda(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        import numpy as np
+        from dataclasses import dataclass, field
+
+
+        @dataclass
+        class Holder:
+            rng: object = field(default_factory=np.random.default_rng)
+        """,
+    )
+    result = fix_file(path)
+    assert result.applied
+    fixed = path.read_text(encoding="utf-8")
+    assert 'default_factory=lambda: derive_rng("repro.demo.mod.Holder")' in fixed
+
+
+def test_rl001_seeded_call_left_alone(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        import numpy as np
+
+
+        def make_gen(seed):
+            return np.random.default_rng(seed)
+        """,
+    )
+    before = path.read_bytes()
+    result = fix_file(path)
+    assert not result.fixed and not result.applied
+    assert path.read_bytes() == before
+
+
+def test_rl005_mutable_default_rewritten(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        def accumulate(x, acc: list = [], tags={}):
+            \"\"\"Collect x.\"\"\"
+            acc.append(x)
+            return acc, tags
+        """,
+    )
+    result = fix_file(path)
+    assert result.applied and len(result.fixed) == 2
+    fixed = path.read_text(encoding="utf-8")
+    assert "acc: list | None = None" in fixed
+    assert "tags=None" in fixed
+    assert "if acc is None:" in fixed and "acc = []" in fixed
+    assert "if tags is None:" in fixed and "tags = {}" in fixed
+    # The docstring stays the first statement.
+    body = fixed.split("def accumulate", 1)[1]
+    assert body.index('"""Collect x."""') < body.index("if acc is None:")
+
+
+def test_rl005_kwonly_default_rewritten(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        def f(x, *, seen=set()):
+            seen.add(x)
+            return seen
+        """,
+    )
+    result = fix_file(path)
+    assert result.applied
+    fixed = path.read_text(encoding="utf-8")
+    assert "seen=None" in fixed and "seen = set()" in fixed
+
+
+def test_rl005_lambda_reported_unfixable(tmp_path):
+    path = _write(tmp_path, "collect = lambda x, acc=[]: acc + [x]\n")
+    before = path.read_bytes()
+    result = fix_file(path)
+    assert not result.applied
+    assert len(result.skipped) == 1
+    assert path.read_bytes() == before
+
+
+def test_pragma_suppressed_finding_never_rewritten(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        import numpy as np
+
+
+        def entropy_gen():
+            return np.random.default_rng()  # repro-lint: disable=RL001
+        """,
+    )
+    before = path.read_bytes()
+    result = fix_file(path)
+    assert not result.fixed and not result.applied
+    assert path.read_bytes() == before
+
+
+def test_fix_is_idempotent_and_relints_clean(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        import numpy as np
+
+
+        def make_gen():
+            return np.random.default_rng()
+
+
+        def accumulate(x, acc=[]):
+            acc.append(x)
+            return acc
+        """,
+    )
+    first = fix_paths([tmp_path / "src"])
+    assert first.fixed_count == 2 and not first.failed_files
+    after_first = path.read_bytes()
+
+    # Re-lint clean for the fixed rules.
+    relint = analyze_paths([tmp_path / "src"])
+    assert not [f for f in relint.active if f.rule_id in ("RL001", "RL005")]
+
+    # Second run: byte-exact no-op.
+    second = fix_paths([tmp_path / "src"])
+    assert second.fixed_count == 0
+    assert path.read_bytes() == after_first
+
+
+def test_clean_tree_is_byte_exact_noop(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        from repro.util.rng import derive_rng
+
+
+        def make_gen():
+            return derive_rng("demo")
+        """,
+    )
+    before = path.read_bytes()
+    result = fix_paths([tmp_path / "src"])
+    assert result.fixed_count == 0 and not result.files
+    assert path.read_bytes() == before
+
+
+def test_dry_run_prints_diff_but_touches_nothing(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        import numpy as np
+
+
+        def make_gen():
+            return np.random.default_rng()
+        """,
+    )
+    before = path.read_bytes()
+    result = fix_paths([tmp_path / "src"], dry_run=True)
+    assert result.fixed_count == 1
+    assert path.read_bytes() == before
+    report = render_fix_report(result, dry_run=True)
+    assert "would fix 1 finding(s)" in report
+    assert "-    return np.random.default_rng()" in report
+    assert '+    return derive_rng("repro.demo.mod.make_gen")' in report
+
+
+def test_select_narrows_fixed_rules(tmp_path):
+    path = _write(
+        tmp_path,
+        """\
+        import numpy as np
+
+
+        def make_gen():
+            return np.random.default_rng()
+
+
+        def accumulate(x, acc=[]):
+            acc.append(x)
+            return acc
+        """,
+    )
+    result = fix_paths([tmp_path / "src"], select=["RL005"])
+    assert result.fixed_count == 1
+    fixed = path.read_text(encoding="utf-8")
+    assert "np.random.default_rng()" in fixed  # RL001 untouched
+    assert "acc=None" in fixed
+
+
+def test_unparseable_file_reported_not_crashed(tmp_path):
+    path = _write(tmp_path, "def broken(:\n")
+    result = fix_file(path)
+    assert result.verify_error is not None
+    assert not result.applied

@@ -1,0 +1,168 @@
+"""RL009: config-epoch monotonicity on NC_SETTINGS / NC_FORWARD_TAB."""
+
+from tests.analysis.helpers import active_ids, lint, lint_modules
+
+_SIGNALS = """\
+    from dataclasses import dataclass
+
+
+    @dataclass
+    class Signal:
+        target: str
+
+
+    @dataclass
+    class NcForwardTab(Signal):
+        table_text: str = ""
+        epoch: int = 0
+
+
+    @dataclass
+    class NcSettings(Signal):
+        epoch: int = 0
+"""
+
+
+def test_unstamped_forward_tab_flagged():
+    findings = lint_modules(
+        {
+            "src/repro/core/signals.py": _SIGNALS,
+            "src/repro/core/push.py": """\
+                from repro.core.signals import NcForwardTab
+
+
+                def push(bus, name, text):
+                    bus.send(NcForwardTab(target=name, table_text=text))
+            """,
+        },
+        select=["RL009"],
+    )
+    assert active_ids(findings) == ["RL009"]
+    assert "without an epoch= stamp" in findings[0].message
+    assert findings[0].path == "src/repro/core/push.py"
+
+
+def test_literal_epoch_flagged():
+    findings = lint_modules(
+        {
+            "src/repro/core/signals.py": _SIGNALS,
+            "src/repro/core/push.py": """\
+                from repro.core.signals import NcSettings
+
+
+                def push(bus, name):
+                    bus.send(NcSettings(target=name, epoch=7))
+            """,
+        },
+        select=["RL009"],
+    )
+    assert active_ids(findings) == ["RL009"]
+    assert "hard-coded epoch=7" in findings[0].message
+
+
+def test_live_epoch_expression_clean():
+    findings = lint_modules(
+        {
+            "src/repro/core/signals.py": _SIGNALS,
+            "src/repro/core/push.py": """\
+                from repro.core.signals import NcForwardTab, NcSettings
+
+
+                class Controller:
+                    config_epoch = 1
+
+                    def push(self, bus, name, text):
+                        bus.send(NcSettings(target=name, epoch=self.config_epoch))
+                        bus.send(NcForwardTab(target=name, table_text=text, epoch=self.config_epoch))
+            """,
+        },
+        select=["RL009"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_aliased_import_still_caught():
+    findings = lint_modules(
+        {
+            "src/repro/core/signals.py": _SIGNALS,
+            "src/repro/core/push.py": """\
+                from repro.core import signals
+
+
+                def push(bus, name, text):
+                    bus.send(signals.NcForwardTab(target=name, table_text=text))
+            """,
+        },
+        select=["RL009"],
+    )
+    assert active_ids(findings) == ["RL009"]
+
+
+def test_renamed_import_still_caught():
+    findings = lint(
+        """
+        from repro.core.signals import NcForwardTab as FT
+
+
+        def push(bus, name, text):
+            bus.send(FT(target=name, table_text=text))
+        """,
+        path="src/repro/core/push.py",
+        select=["RL009"],
+    )
+    assert active_ids(findings) == ["RL009"]
+
+
+def test_same_named_local_class_not_flagged():
+    findings = lint_modules(
+        {
+            "src/repro/core/signals.py": _SIGNALS,
+            "src/repro/core/other.py": """\
+                class NcForwardTab:  # unrelated local type, not the signal
+                    def __init__(self, rows):
+                        self.rows = rows
+
+
+                def build(rows):
+                    return NcForwardTab(rows)
+            """,
+        },
+        select=["RL009"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_signals_module_itself_exempt():
+    findings = lint(_SIGNALS, path="src/repro/core/signals.py", select=["RL009"])
+    assert active_ids(findings) == []
+
+
+def test_outside_repro_package_exempt():
+    findings = lint(
+        """
+        from repro.core.signals import NcForwardTab
+
+
+        def push(bus):
+            bus.send(NcForwardTab(target="n", table_text=""))
+        """,
+        path="tests/test_push.py",
+        select=["RL009"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_suppression_respected():
+    findings = lint(
+        """
+        from repro.core.signals import NcForwardTab
+
+
+        def push(bus, name, text):
+            bus.send(NcForwardTab(target=name, table_text=text))  # repro-lint: disable=RL009
+        """,
+        path="src/repro/core/push.py",
+        select=["RL009"],
+    )
+    assert active_ids(findings) == []
+    assert [f.rule_id for f in findings if f.suppressed] == ["RL009"]

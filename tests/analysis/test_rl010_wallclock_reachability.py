@@ -1,0 +1,147 @@
+"""RL010: handlers transitively reaching wall-clock / sleep calls."""
+
+from tests.analysis.helpers import active_ids, lint, lint_modules
+
+
+def test_direct_wallclock_in_handler_flagged():
+    findings = lint(
+        """
+        import time
+
+
+        class Daemon:
+            def on_packet(self, pkt):
+                return time.time()
+        """,
+        select=["RL010"],
+    )
+    assert active_ids(findings) == ["RL010"]
+    assert "time.time" in findings[0].message
+
+
+def test_one_hop_helper_chain_flagged_with_chain():
+    findings = lint(
+        """
+        import time
+
+
+        def _stamp():
+            return time.time()
+
+
+        class Daemon:
+            def on_packet(self, pkt):
+                return _stamp()
+        """,
+        select=["RL010"],
+    )
+    ids = active_ids(findings)
+    # Only the entry point is flagged; the helper itself is not a handler.
+    assert ids == ["RL010"]
+    assert "on_packet" in findings[0].message
+    assert "_stamp" in findings[0].message and "time.time" in findings[0].message
+
+
+def test_cross_module_chain_flagged():
+    findings = lint_modules(
+        {
+            "src/repro/util/clock.py": """\
+                import time
+
+
+                def stamp():
+                    return time.time()
+            """,
+            "src/repro/core/daemon.py": """\
+                from repro.util.clock import stamp
+
+
+                class Daemon:
+                    def handle_signal(self, sig):
+                        return stamp()
+            """,
+        },
+        select=["RL010"],
+    )
+    assert active_ids(findings) == ["RL010"]
+    assert findings[0].path == "src/repro/core/daemon.py"
+
+
+def test_sleep_in_scheduled_callback_flagged():
+    findings = lint(
+        """
+        import time
+
+
+        class Source:
+            def __init__(self, scheduler):
+                scheduler.schedule(0.1, self._tick)
+
+            def _tick(self):
+                time.sleep(0.01)
+        """,
+        select=["RL010"],
+    )
+    assert active_ids(findings) == ["RL010"]
+    assert "_tick" in findings[0].message
+
+
+def test_simulated_clock_use_clean():
+    findings = lint(
+        """
+        class Daemon:
+            def __init__(self, scheduler):
+                self.scheduler = scheduler
+
+            def on_packet(self, pkt):
+                return self.scheduler.now
+        """,
+        select=["RL010"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_non_handler_reaching_clock_not_flagged():
+    findings = lint(
+        """
+        import time
+
+
+        def measure_wall_runtime():
+            # Not a handler and never scheduled: host-side tooling.
+            return time.time()
+        """,
+        select=["RL010"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_outside_repro_package_exempt():
+    findings = lint(
+        """
+        import time
+
+
+        class Daemon:
+            def on_packet(self, pkt):
+                return time.time()
+        """,
+        path="tools/daemon.py",
+        select=["RL010"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_suppression_on_handler_def_respected():
+    findings = lint(
+        """
+        import time
+
+
+        class Daemon:
+            def on_packet(self, pkt):  # repro-lint: disable=RL010
+                return time.time()
+        """,
+        select=["RL010"],
+    )
+    assert active_ids(findings) == []

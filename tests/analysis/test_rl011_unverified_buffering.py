@@ -1,0 +1,182 @@
+"""RL011: verify() must dominate CodedPacket buffering."""
+
+from tests.analysis.helpers import active_ids, lint, lint_modules
+
+
+def test_unverified_buffer_add_flagged():
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Vnf:
+            def on_packet(self, packet: CodedPacket):
+                self.buffer.add(packet.generation_id, packet)
+        """,
+        select=["RL011"],
+    )
+    assert active_ids(findings) == ["RL011"]
+    assert "dominating verify()" in findings[0].message
+
+
+def test_verify_before_add_clean():
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Vnf:
+            def on_packet(self, packet: CodedPacket):
+                if not packet.verify():
+                    return
+                self.buffer.add(packet.generation_id, packet)
+        """,
+        select=["RL011"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_verify_after_add_flagged():
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Vnf:
+            def on_packet(self, packet: CodedPacket):
+                self.recoder.add(packet)
+                packet.verify()
+        """,
+        select=["RL011"],
+    )
+    assert active_ids(findings) == ["RL011"]
+
+
+def test_isinstance_narrowing_tracked():
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Receiver:
+            def on_datagram(self, dgram):
+                payload = dgram.payload
+                if isinstance(payload, CodedPacket):
+                    self.decoder.add(payload)
+        """,
+        select=["RL011"],
+    )
+    assert active_ids(findings) == ["RL011"]
+
+
+def test_verify_one_frame_up_clean():
+    # The pipelined VNF shape: the gate lives in the dispatching
+    # handler, the buffering in the helper it calls.
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Vnf:
+            def _handle_packet(self, packet: CodedPacket):
+                if not packet.verify():
+                    return
+                self._recode(packet)
+
+            def _recode(self, packet: CodedPacket):
+                self.recoder.add(packet)
+        """,
+        select=["RL011"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_unverified_caller_chain_flagged():
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Vnf:
+            def _handle_packet(self, packet: CodedPacket):
+                self._recode(packet)
+
+            def _recode(self, packet: CodedPacket):
+                self.recoder.add(packet)
+        """,
+        select=["RL011"],
+    )
+    # The sink function has a caller, but the caller never verifies.
+    assert active_ids(findings) == ["RL011"]
+
+
+def test_cross_module_verify_gate_clean():
+    findings = lint_modules(
+        {
+            "src/repro/core/ingress.py": """\
+                from repro.rlnc.packet import CodedPacket
+                from repro.core.store import stash
+
+
+                def on_wire(packet: CodedPacket):
+                    if not packet.verify():
+                        return
+                    stash(packet)
+            """,
+            "src/repro/core/store.py": """\
+                from repro.rlnc.packet import CodedPacket
+
+                generation_buffer = {}
+
+
+                def stash(packet: CodedPacket):
+                    generation_buffer.add(packet)
+            """,
+        },
+        select=["RL011"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_rlnc_package_internals_exempt():
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Recoder:
+            def on_packet(self, packet: CodedPacket):
+                self.buffer.add(packet)
+        """,
+        path="src/repro/rlnc/recode.py",
+        select=["RL011"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_untyped_packet_not_tracked():
+    # No annotation and no isinstance: the rule stays conservative.
+    findings = lint(
+        """
+        class Vnf:
+            def on_packet(self, packet):
+                self.buffer.add(packet)
+        """,
+        select=["RL011"],
+    )
+    assert active_ids(findings) == []
+
+
+def test_suppression_respected():
+    findings = lint(
+        """
+        from repro.rlnc.packet import CodedPacket
+
+
+        class Vnf:
+            def on_packet(self, packet: CodedPacket):
+                self.buffer.add(packet)  # repro-lint: disable=RL011
+        """,
+        select=["RL011"],
+    )
+    assert active_ids(findings) == []

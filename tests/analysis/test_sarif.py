@@ -1,0 +1,61 @@
+"""SARIF 2.1.0 reporter: document shape and finding mapping."""
+
+import json
+
+from repro.analysis.engine import AnalysisResult, analyze_paths
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+from repro.analysis.sarif import SARIF_VERSION, render_sarif, to_sarif
+
+
+def _result(findings=()):
+    return AnalysisResult(findings=list(findings), files_scanned=1)
+
+
+def test_document_envelope():
+    doc = to_sarif(_result())
+    assert doc["version"] == SARIF_VERSION
+    assert "$schema" in doc
+    assert len(doc["runs"]) == 1
+
+
+def test_rule_catalogue_embedded_even_with_zero_results():
+    doc = to_sarif(_result())
+    driver = doc["runs"][0]["tool"]["driver"]
+    ids = [r["id"] for r in driver["rules"]]
+    assert ids == [r.rule_id for r in all_rules()]
+    assert all(r["shortDescription"]["text"] for r in driver["rules"])
+
+
+def test_finding_maps_to_result_with_one_based_region():
+    finding = Finding(rule_id="RL001", path="src/repro/m.py", line=7, col=0, message="boom")
+    doc = to_sarif(_result([finding]))
+    result = doc["runs"][0]["results"][0]
+    assert result["ruleId"] == "RL001"
+    assert result["message"]["text"] == "boom"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/m.py"
+    assert loc["region"] == {"startLine": 7, "startColumn": 1}  # SARIF is 1-based
+    assert "suppressions" not in result
+
+
+def test_suppressed_finding_carries_suppression_object():
+    finding = Finding(
+        rule_id="RL001", path="src/repro/m.py", line=1, col=0, message="x", suppressed=True
+    )
+    doc = to_sarif(_result([finding]))
+    result = doc["runs"][0]["results"][0]
+    assert result["suppressions"] == [{"kind": "inSource", "status": "accepted"}]
+
+
+def test_render_is_valid_json_and_roundtrips_real_run(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import numpy as np\n\n\ndef f():\n    return np.random.default_rng()\n",
+        encoding="utf-8",
+    )
+    result = analyze_paths([tmp_path / "src"])
+    doc = json.loads(render_sarif(result))
+    assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["RL001"]
+    assert doc["runs"][0]["properties"]["filesScanned"] == 1
