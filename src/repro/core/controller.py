@@ -156,6 +156,12 @@ class Controller:
         self.sessions: dict[int, MulticastSession] = {}
         self.lambdas: dict[int, float] = {}
         self.decompositions: dict[int, FlowDecomposition] = {}
+        # Demand footprint per session: every node and edge any of its
+        # candidate paths could touch.  A departure whose freed capacity
+        # is disjoint from all remaining footprints cannot change any
+        # remaining session's optimum, so the g1/g2 rebalance is skipped
+        # outright (0 LP solves instead of 2 whole-fleet ones).
+        self._demand_footprints: dict[int, frozenset] = {}
         self.fleet: dict[str, FleetState] = {name: FleetState() for name in self.datacenters}
         self.solves = 0
         # Monotonic config epoch, bumped on every stored plan and
@@ -218,6 +224,28 @@ class Controller:
         self.solves += 1
         self.config_epoch += 1
 
+    @staticmethod
+    def _footprint_of(demand) -> frozenset:
+        """Nodes ∪ edges any candidate path of a demand could occupy."""
+        items: set = set()
+        for paths in demand.path_sets.values():
+            for path in paths:
+                items.update(path.nodes)
+                items.update(path.edges)
+        return frozenset(items)
+
+    def _routed_footprint(self, session_id: int) -> frozenset:
+        """Nodes ∪ edges a session's *current* routing actually loads."""
+        decomposition = self.decompositions.get(session_id)
+        if decomposition is None:
+            return frozenset()
+        items: set = set()
+        for edge, rate in decomposition.link_rates().items():
+            if rate > 1e-9:
+                items.add(edge)
+                items.update(edge)
+        return frozenset(items)
+
     # -- session lifecycle (entry points used by the scaling engine) -----------
 
     def add_session(self, session: MulticastSession, reconcile: bool = True) -> DeploymentPlan:
@@ -227,6 +255,7 @@ class Controller:
         self.sessions[session.session_id] = session
         problem = self.problem()
         demand = problem.build_demand(session)
+        self._demand_footprints[session.session_id] = self._footprint_of(demand)
         frozen = self._plan_of(sid for sid in self.sessions if sid != session.session_id)
         plan = problem.solve([demand], frozen=frozen, baseline_vnfs=self.current_vnf_counts())
         self._store(plan)
@@ -236,13 +265,22 @@ class Controller:
         return plan
 
     def remove_session(self, session_id: int, reconcile: bool = True) -> dict:
-        """SESSION QUIT: compare growing flows (g1) vs shrinking fleet (g2)."""
+        """SESSION QUIT: compare growing flows (g1) vs shrinking fleet (g2).
+
+        When the departing session's routed footprint is disjoint from
+        every remaining session's demand footprint, the freed capacity
+        is unreachable by anyone else: g1 would reproduce the current
+        flows and g2 the current fleet, so both solves are skipped and
+        the fleet is reconciled directly (``rebalanced: False``).
+        """
         if session_id not in self.sessions:
             raise ValueError(f"unknown session {session_id}")
+        freed = self._routed_footprint(session_id)
         del self.sessions[session_id]
         self.lambdas.pop(session_id, None)
         self.decompositions.pop(session_id, None)
-        return self._rebalance_after_departure(reconcile)
+        self._demand_footprints.pop(session_id, None)
+        return self._rebalance_after_departure(reconcile, freed=freed)
 
     def add_receiver(self, session_id: int, receiver: str, reconcile: bool = True) -> DeploymentPlan:
         """RECEIVER JOIN: re-route the affected session only."""
@@ -275,6 +313,8 @@ class Controller:
         """Re-route the given sessions; everything else stays frozen."""
         problem = self.problem()
         demands = [problem.build_demand(self.sessions[sid]) for sid in session_ids]
+        for sid, demand in zip(session_ids, demands):
+            self._demand_footprints[sid] = self._footprint_of(demand)
         frozen = self._plan_of(sid for sid in self.sessions if sid not in set(session_ids))
         plan = problem.solve(demands, frozen=frozen, baseline_vnfs=self.current_vnf_counts())
         self._store(plan)
@@ -286,15 +326,29 @@ class Controller:
         """Full re-optimization of every session (initial deployment)."""
         problem = self.problem()
         demands = [problem.build_demand(s) for s in self.sessions.values()]
+        for sid, demand in zip(self.sessions, demands):
+            self._demand_footprints[sid] = self._footprint_of(demand)
         plan = problem.solve(demands, baseline_vnfs=self.current_vnf_counts())
         self._store(plan)
         if reconcile:
             self.reconcile_fleet()
         return plan
 
-    def _rebalance_after_departure(self, reconcile: bool = True) -> dict:
-        """Alg. 3 SESSION/RECEIVER QUIT: pick max(g1 grow-flows, g2 shrink-fleet)."""
+    def _rebalance_after_departure(self, reconcile: bool = True, freed: frozenset | None = None) -> dict:
+        """Alg. 3 SESSION/RECEIVER QUIT: pick max(g1 grow-flows, g2 shrink-fleet).
+
+        With ``freed`` given (a session quit's routed footprint), the
+        O(1) fast path fires when no remaining session's demand
+        footprint intersects it — nobody can grow into the freed
+        capacity, so neither g1 nor g2 can beat the incumbent plans.
+        """
         remaining = list(self.sessions)
+        if freed is not None and not any(
+            freed & self._demand_footprints.get(sid, frozenset()) for sid in remaining
+        ):
+            if reconcile:
+                self.reconcile_fleet()
+            return {"g1": 0.0, "g2": 0.0, "chosen": "g1", "rebalanced": False}
         current_counts = self.current_vnf_counts()
         g1_plan = g2_plan = None
         if remaining:
@@ -326,7 +380,7 @@ class Controller:
             self._store(chosen)
         if reconcile:
             self.reconcile_fleet()
-        return {"g1": g1, "g2": g2, "chosen": "g1" if g1 >= g2 else "g2"}
+        return {"g1": g1, "g2": g2, "chosen": "g1" if g1 >= g2 else "g2", "rebalanced": True}
 
     def _objective_of(self, plan: DeploymentPlan | None) -> float:
         if plan is None:

@@ -43,7 +43,7 @@ from repro.core.signals import (
     NcStart,
     NcVnfEnd,
     Signal,
-    SignalBus,
+    SignalPort,
 )
 from repro.core.vnf import CodingVnf, VnfRole
 from repro.net.events import PeriodicEvent
@@ -64,7 +64,7 @@ class VnfDaemon:
     def __init__(
         self,
         vnf: CodingVnf,
-        bus: SignalBus,
+        bus: SignalPort,
         session_configs: dict[int, CodingConfig] | None = None,
         on_shutdown: Callable[["VnfDaemon"], None] | None = None,
         vnf_start_latency_s: float = VNF_START_LATENCY_S,

@@ -281,12 +281,14 @@ class DeploymentProblem:
             frozen_in = sum(load for edge, load in frozen_link_load.items() if edge[1] == dc.name)
             frozen_out = sum(load for edge, load in frozen_link_load.items() if edge[0] == dc.name)
             x = x_vars[dc.name]
+            # Frozen load on a DC the new demands never touch still needs
+            # its x_v floor — sum over an empty var list is 0·x, not a crash.
             if in_vars or frozen_in:
-                expr = self._sum(in_vars)
+                expr = self._sum(in_vars or [0.0 * x])
                 lp.add_constraint(expr - dc.inbound_mbps * x <= -frozen_in, name=f"2c[{dc.name}]")
                 lp.add_constraint(expr - dc.coding_mbps * x <= -frozen_in, name=f"2e[{dc.name}]")
             if out_vars or frozen_out:
-                expr = self._sum(out_vars)
+                expr = self._sum(out_vars or [0.0 * x])
                 lp.add_constraint(expr - dc.outbound_mbps * x <= -frozen_out, name=f"2d[{dc.name}]")
 
         # (2c') receiver inbound caps and (2d') source outbound caps.

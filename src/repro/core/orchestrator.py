@@ -21,6 +21,7 @@ chain: the rate measured at the receivers matches the LP's λ.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Protocol
 
 import networkx as nx
 
@@ -28,8 +29,16 @@ from repro.core.dataplane import LiveDeployment, build_data_plane
 from repro.core.daemon import VnfDaemon
 from repro.core.deployment import DataCenterSpec, DeploymentPlan, DeploymentProblem
 from repro.core.forwarding import ForwardingTable
-from repro.core.signals import NcForwardTab, NcSettings, NcStart, Signal, SignalBus
+from repro.core.session import CodingConfig, MulticastSession
+from repro.core.signals import NcForwardTab, NcSettings, NcStart, Signal, SignalBus, SignalRecord
+from repro.core.vnf import CodingVnf
 from repro.net.events import EventScheduler
+
+
+class _Startable(Protocol):
+    """The slice of a source application NC_START needs: ``start()``."""
+
+    def start(self) -> None: ...
 
 
 @dataclass
@@ -39,7 +48,7 @@ class Orchestration:
     plan: DeploymentPlan
     deployment: LiveDeployment
     bus: SignalBus
-    daemons: dict = dataclass_field(default_factory=dict)
+    daemons: dict[str, _ClusterDaemon] = dataclass_field(default_factory=dict)
     scheduler: EventScheduler | None = None
     # Monotonic config epoch for this orchestration's pushes.  The
     # initial deploy stamps epoch 1; anything re-pushing configuration
@@ -49,6 +58,8 @@ class Orchestration:
     config_epoch: int = 1
 
     def run(self, duration_s: float) -> None:
+        if self.scheduler is None:
+            raise RuntimeError("orchestration has no scheduler to run")
         self.scheduler.run(until=self.scheduler.now + duration_s)
 
     def session_throughput_mbps(self, session_id: int, start_s: float = 0.0) -> float:
@@ -61,12 +72,12 @@ class Orchestrator:
     def __init__(
         self,
         graph: nx.DiGraph,
-        datacenters: list,
+        datacenters: list[DataCenterSpec],
         alpha: float = 1.0,
         payload_mode: str = "coefficients-only",
         control_latency_s: float = 0.02,
         seed: int = 1,
-    ):
+    ) -> None:
         self.graph = graph
         self.datacenters = list(datacenters)
         self.alpha = alpha
@@ -74,7 +85,7 @@ class Orchestrator:
         self.control_latency_s = control_latency_s
         self.seed = seed
 
-    def deploy(self, sessions: list, rate_fraction: float = 0.95) -> Orchestration:
+    def deploy(self, sessions: list[MulticastSession], rate_fraction: float = 0.95) -> Orchestration:
         """Solve, build, configure-by-signal, and start the sessions."""
         scheduler = EventScheduler()
         bus = SignalBus(scheduler, latency_s=self.control_latency_s)
@@ -139,7 +150,7 @@ class Orchestrator:
 class _StartHandler:
     """Starts a source application when its NC_START arrives."""
 
-    def __init__(self, source):
+    def __init__(self, source: _Startable) -> None:
         self.source = source
 
     def __call__(self, signal: Signal) -> None:
@@ -155,7 +166,13 @@ class _ClusterDaemon:
     each instance (they are interchangeable for dispatching purposes).
     """
 
-    def __init__(self, vnfs: list, bus: SignalBus, name: str, session_configs: dict):
+    def __init__(
+        self,
+        vnfs: list[CodingVnf],
+        bus: SignalBus,
+        name: str,
+        session_configs: dict[int, CodingConfig],
+    ) -> None:
         self.vnfs = vnfs
         self.members = [
             VnfDaemon(vnf, _FanBus(bus), session_configs=session_configs) for vnf in vnfs
@@ -174,14 +191,14 @@ class _ClusterDaemon:
 class _FanBus:
     """Bus facade for cluster members: registration handled by the cluster."""
 
-    def __init__(self, bus: SignalBus):
+    def __init__(self, bus: SignalBus) -> None:
         self._bus = bus
 
-    def register(self, name: str, handler) -> None:  # cluster-level registration only
-        pass
+    def register(self, name: str, handler: Callable[[Signal], None]) -> None:
+        pass  # cluster-level registration only
 
     def unregister(self, name: str) -> None:
         pass
 
-    def send(self, signal: Signal):
+    def send(self, signal: Signal) -> SignalRecord:
         return self._bus.send(signal)

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 from repro.net.events import EventScheduler
 
@@ -158,6 +158,21 @@ class SignalRecord:
 #: (deliver normally), the string ``"drop"`` (swallow this delivery), or
 #: a positive float (postpone delivery by that many seconds).
 FaultHook = Callable[[SignalRecord], "str | float | None"]
+
+
+class SignalPort(Protocol):
+    """The bus surface a daemon needs: register, unregister, send.
+
+    Structurally satisfied by :class:`SignalBus` and by facades such as
+    the orchestrator's cluster fan-out bus, which intercepts member
+    registrations while forwarding sends.
+    """
+
+    def register(self, name: str, handler: Callable[[Signal], None]) -> None: ...
+
+    def unregister(self, name: str) -> None: ...
+
+    def send(self, signal: Signal) -> SignalRecord: ...
 
 
 class SignalBus:

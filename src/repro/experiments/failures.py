@@ -132,6 +132,7 @@ def run_butterfly_failover(
     relay_repair: bool = False,
     total_generations: int | None = None,
     retain_decoded: bool = False,
+    churn_hook=None,
     seed: int = 7,
 ) -> FailoverResult:
     """Crash a relay node mid-transfer; detect, re-optimize, keep decoding.
@@ -147,6 +148,11 @@ def run_butterfly_failover(
     ``retain_decoded=True`` keeps every decoded generation on the
     receivers so integrity tests can compare payloads against the
     source cache bit for bit.
+    ``churn_hook``, when given, is called as ``churn_hook(scheduler,
+    bus)`` right before the source starts: the failure-matrix tests use
+    it to schedule controller-visible session churn (fleet joins and
+    leaves pushing their own config signals over the same bus) that
+    runs concurrently with the injected faults.
 
     Recovery is a full re-optimization, not table pruning: on each death
     verdict :func:`repro.core.healing.plan_recovery` re-runs the
@@ -324,6 +330,8 @@ def run_butterfly_failover(
     injector.set_bus(bus)
     injector.arm()
 
+    if churn_hook is not None:
+        churn_hook(topo.scheduler, bus)
     source.start()
     topo.run(until=duration_s)
     monitor.stop()

@@ -1,0 +1,472 @@
+"""Fleet controller: hundreds of sessions on the OS3E WAN overlay.
+
+The manager runs the service-provider side of Alg. 3 at fleet scale.
+Data centers sit in a subset of OS3E PoP cities and form a full mesh
+overlay whose edge latencies are shortest-path WAN propagation delays
+(:func:`repro.net.topology.os3e_latency_ms`); each session's hosts
+attach to their nearest PoPs over access links.  Admission solves a
+*per-session delta LP* (:class:`repro.fleet.planner.SessionLP`)
+against the surplus index — warm-started from the cached basis — so
+the cost of a join is independent of fleet size.  Departures release
+capacity and retire surplus VNFs with **zero** LP solves.
+
+``mode="cold"`` is the equivalence oracle: it rebuilds the index from
+scratch before every event and solves without a basis.  The property
+suite drives both modes over the same churn traces and asserts the
+verdicts, rates, VNF counts and forwarding tables never diverge.
+
+Config pushes ride the existing epoch machinery: every applied change
+bumps ``config_epoch`` and the NC_SETTINGS / NC_FORWARD_TAB signals
+are stamped with it, so a stale fleet table can never clobber a newer
+one at a daemon (DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.deployment import DataCenterSpec, DeploymentPlan, DeploymentProblem, SessionDemand
+from repro.core.session import MulticastSession
+from repro.core.signals import NcForwardTab, NcSettings, NcStart, NcVnfEnd, NcVnfStart, SignalBus
+from repro.fleet.capacity import Edge, FleetDataCenter, FleetPlan, SurplusIndex
+from repro.fleet.churn import SessionSpec
+from repro.fleet.planner import SessionLP
+from repro.lp.simplex import SimplexResult
+from repro.fleet.verdict import AdmissionStatus, AdmissionVerdict
+from repro.net.topology import os3e_latency_ms
+from repro.routing.paths import Path
+
+#: A session is admitted only if the LP carries its full rate (minus noise).
+_RATE_TOL = 1e-6
+
+INCREMENTAL = "incremental"
+COLD = "cold"
+
+
+class FleetManager:
+    """Admission, departure and replanning for a multi-session fleet."""
+
+    def __init__(
+        self,
+        datacenters: Sequence[FleetDataCenter],
+        *,
+        backbone_mbps: float = 20_000.0,
+        access_mbps: float = 1_000.0,
+        access_delay_ms: float = 2.0,
+        alpha: float = 20.0,
+        attach_dcs: int = 2,
+        source_out_mbps: float = 1_000.0,
+        receiver_in_mbps: float = 1_000.0,
+        mode: str = INCREMENTAL,
+        bus: SignalBus | None = None,
+        latency_ms: Mapping[str, Mapping[str, float]] | None = None,
+    ) -> None:
+        if mode not in (INCREMENTAL, COLD):
+            raise ValueError(f"unknown mode {mode!r}")
+        if not datacenters:
+            raise ValueError("at least one data center is required")
+        if attach_dcs < 1:
+            raise ValueError("hosts must attach to at least one data center")
+        self.datacenters: dict[str, FleetDataCenter] = {dc.name: dc for dc in datacenters}
+        if len(self.datacenters) != len(datacenters):
+            raise ValueError("duplicate data-center names")
+        self.wan: dict[str, dict[str, float]] = (
+            {a: dict(row) for a, row in latency_ms.items()}
+            if latency_ms is not None
+            else os3e_latency_ms()
+        )
+        missing = [name for name in self.datacenters if name not in self.wan]
+        if missing:
+            raise ValueError(f"data centers absent from the WAN latency map: {missing}")
+        self.backbone_mbps = backbone_mbps
+        self.access_mbps = access_mbps
+        self.access_delay_ms = access_delay_ms
+        self.alpha = alpha
+        self.attach_dcs = min(attach_dcs, len(self.datacenters))
+        self.source_out_mbps = source_out_mbps
+        self.receiver_in_mbps = receiver_in_mbps
+        self.mode = mode
+        self.bus = bus
+
+        dc_names = sorted(self.datacenters)
+        self.shared_edges: frozenset[Edge] = frozenset(
+            (a, b) for a in dc_names for b in dc_names if a != b
+        )
+        edge_caps = {edge: backbone_mbps for edge in self.shared_edges}
+        self.index = SurplusIndex(edge_caps, self.datacenters)
+        self._dc_name_set: frozenset[str] = frozenset(dc_names)
+
+        self.sessions: dict[int, SessionSpec] = {}
+        self.plans: dict[int, FleetPlan] = {}
+        self._lps: dict[int, SessionLP] = {}
+        self._basis_cache: dict[str, tuple[int, ...]] = {}
+        self.config_epoch = 0
+        self.lp_solves = 0
+        self.warm_hits = 0
+        self.verdicts: list[AdmissionVerdict] = []
+
+    # -- overlay geometry --------------------------------------------------
+
+    def attachments(self, city: str) -> tuple[str, ...]:
+        """The ``attach_dcs`` nearest PoP data centers to a host city."""
+        if city not in self.wan:
+            raise KeyError(f"unknown city {city!r}")
+        ranked = sorted(self.datacenters, key=lambda dc: (self.wan[city][dc], dc))
+        return tuple(ranked[: self.attach_dcs])
+
+    def _candidate_paths(self, spec: SessionSpec) -> dict[str, list[Path]]:
+        """src→a(→b)→recv overlay paths within the session's delay bound."""
+        source = spec.source_host()
+        src_attach = self.attachments(spec.source_city)
+        path_sets: dict[str, list[Path]] = {}
+        for host, city in zip(spec.receiver_hosts(), spec.receiver_cities):
+            recv_attach = self.attachments(city)
+            paths: list[Path] = []
+            for a in src_attach:
+                d_src = self.wan[spec.source_city][a] + self.access_delay_ms
+                for b in recv_attach:
+                    d_recv = self.wan[b][city] + self.access_delay_ms
+                    if a == b:
+                        delay = d_src + d_recv
+                        nodes = (source, a, host)
+                    else:
+                        delay = d_src + self.wan[a][b] + d_recv
+                        nodes = (source, a, b, host)
+                    if delay <= spec.max_delay_ms:
+                        paths.append(Path(nodes=nodes, delay_ms=delay))
+            paths.sort(key=lambda p: (p.delay_ms, p.hops, p.nodes))
+            path_sets[host] = paths
+        return path_sets
+
+    # -- Alg. 3 at fleet scale ---------------------------------------------
+
+    def admit(self, spec: SessionSpec) -> AdmissionVerdict:
+        """Session join: one delta LP solve, or zero for infeasible asks."""
+        if spec.session_id in self.sessions:
+            raise ValueError(f"session {spec.session_id} is already admitted")
+        if self.mode == COLD:
+            self.index.rebuild(self.plans.values())
+        path_sets = self._candidate_paths(spec)
+        if any(not paths for paths in path_sets.values()):
+            return self._record(
+                AdmissionVerdict(
+                    session_id=spec.session_id,
+                    status=AdmissionStatus.REJECTED_INFEASIBLE,
+                    lambda_mbps=0.0,
+                    requested_mbps=spec.rate_mbps,
+                    lp_solves=0,
+                    warm_started=False,
+                    vnfs_launched=0,
+                    epoch=self.config_epoch,
+                    reason="no route within the delay bound",
+                )
+            )
+        lp = SessionLP(
+            spec,
+            path_sets,
+            self.shared_edges,
+            self._dc_name_set,
+            access_mbps=self.access_mbps,
+            source_out_mbps=self.source_out_mbps,
+            receiver_in_mbps=self.receiver_in_mbps,
+            alpha=self.alpha,
+        )
+        lp.bind(self.index)
+        result, plan = self._solve(lp)
+        if plan is None or plan.lambda_mbps < spec.rate_mbps - _RATE_TOL:
+            achieved = 0.0 if plan is None else plan.lambda_mbps
+            return self._record(
+                AdmissionVerdict(
+                    session_id=spec.session_id,
+                    status=AdmissionStatus.REJECTED_CAPACITY,
+                    lambda_mbps=achieved,
+                    requested_mbps=spec.rate_mbps,
+                    lp_solves=1,
+                    warm_started=result.warm_started,
+                    vnfs_launched=0,
+                    epoch=self.config_epoch,
+                    reason=f"residual capacity carries {achieved:.3f}/{spec.rate_mbps:.3f} Mbps",
+                )
+            )
+        self.sessions[spec.session_id] = spec
+        self._lps[spec.session_id] = lp
+        launched = self._apply(plan)
+        return self._record(
+            AdmissionVerdict(
+                session_id=spec.session_id,
+                status=AdmissionStatus.ADMITTED,
+                lambda_mbps=plan.lambda_mbps,
+                requested_mbps=spec.rate_mbps,
+                lp_solves=1,
+                warm_started=result.warm_started,
+                vnfs_launched=launched,
+                epoch=self.config_epoch,
+            )
+        )
+
+    def depart(self, session_id: int) -> FleetPlan | None:
+        """Session leave: release capacity, retire surplus VNFs, 0 solves."""
+        plan = self.plans.pop(session_id, None)
+        if plan is None:
+            return None  # never admitted (rejected join) — nothing to undo
+        self.sessions.pop(session_id, None)
+        self._lps.pop(session_id, None)
+        if self.mode == COLD:
+            self.index.rebuild(self.plans.values())
+        else:
+            self.index.release(plan)
+        self._retire_surplus(plan.datacenters(self._dc_name_set))
+        self.config_epoch += 1
+        return plan
+
+    def replan_session(self, session_id: int) -> AdmissionVerdict:
+        """Re-route one live session (the p99 replan-latency unit of work).
+
+        Releases the session's capacity, re-solves its delta LP against
+        the refreshed surplus, and applies the new routing — rolling
+        back to the old plan if the re-solve cannot carry the rate.
+        """
+        spec = self.sessions.get(session_id)
+        old = self.plans.get(session_id)
+        if spec is None or old is None:
+            raise KeyError(f"session {session_id} is not admitted")
+        lp = self._lps[session_id]
+        old_dcs = old.datacenters(self._dc_name_set)
+        if self.mode == COLD:
+            remaining = [p for sid, p in self.plans.items() if sid != session_id]
+            self.index.rebuild(remaining)
+        else:
+            self.index.release(old)
+        # Retire the released capacity's VNF surplus so the re-solve pays
+        # α for what it reclaims — identical accounting to a fresh join.
+        self._retire_surplus(old_dcs)
+        self.plans.pop(session_id, None)
+        result, plan = self._solve(lp)
+        if plan is None or plan.lambda_mbps < spec.rate_mbps - _RATE_TOL:
+            # Rollback: the old routing is known-feasible.
+            self.plans[session_id] = old
+            self.index.apply(old)
+            self._grow_vnfs(old_dcs)
+            return self._record(
+                AdmissionVerdict(
+                    session_id=session_id,
+                    status=AdmissionStatus.REJECTED_CAPACITY,
+                    lambda_mbps=0.0 if plan is None else plan.lambda_mbps,
+                    requested_mbps=spec.rate_mbps,
+                    lp_solves=1,
+                    warm_started=result.warm_started,
+                    vnfs_launched=0,
+                    epoch=self.config_epoch,
+                    reason="replan infeasible; previous routing kept",
+                )
+            )
+        launched = self._apply(plan)
+        return self._record(
+            AdmissionVerdict(
+                session_id=session_id,
+                status=AdmissionStatus.ADMITTED,
+                lambda_mbps=plan.lambda_mbps,
+                requested_mbps=spec.rate_mbps,
+                lp_solves=1,
+                warm_started=result.warm_started,
+                vnfs_launched=launched,
+                epoch=self.config_epoch,
+            )
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _solve(self, lp: SessionLP) -> tuple[SimplexResult, FleetPlan | None]:
+        basis = self._basis_cache.get(lp.signature) if self.mode == INCREMENTAL else None
+        result, plan = lp.solve(self.index, initial_basis=basis)
+        self.lp_solves += 1
+        if result.warm_started:
+            self.warm_hits += 1
+        if self.mode == INCREMENTAL and result.success and result.basis is not None:
+            self._basis_cache[lp.signature] = result.basis
+        return result, plan
+
+    def _grow_vnfs(self, datacenters: tuple[str, ...]) -> int:
+        """Scale touched DCs up to their load's requirement (NC_VNF_START)."""
+        launched = 0
+        for dc in datacenters:
+            required = self.index.required_vnfs(dc)
+            current = self.index.vnfs.get(dc, 0)
+            if required > current:
+                launched += required - current
+                self.index.vnfs[dc] = required
+                if self.bus is not None:
+                    self.bus.send(NcVnfStart(target=dc, datacenter=dc, count=required - current))
+        return launched
+
+    def _retire_surplus(self, datacenters: tuple[str, ...]) -> int:
+        """Scale touched DCs down to their load's requirement (NC_VNF_END)."""
+        retired = 0
+        for dc in datacenters:
+            current = self.index.vnfs.get(dc, 0)
+            required = self.index.required_vnfs(dc)
+            if required < current:
+                retired += current - required
+                if required > 0:
+                    self.index.vnfs[dc] = required
+                else:
+                    self.index.vnfs.pop(dc, None)
+                if self.bus is not None:
+                    for i in range(required, current):
+                        self.bus.send(NcVnfEnd(target=dc, vnf_name=f"{dc}#{i}"))
+        return retired
+
+    def _apply(self, plan: FleetPlan) -> int:
+        """Charge an accepted plan to the index; scale VNFs; push config."""
+        self.plans[plan.session_id] = plan
+        self.index.apply(plan)
+        touched = plan.datacenters(self._dc_name_set)
+        launched = self._grow_vnfs(touched)
+        self.config_epoch += 1
+        self._push_config(plan, touched)
+        return launched
+
+    def _push_config(self, plan: FleetPlan, touched: tuple[str, ...]) -> None:
+        bus = self.bus
+        if bus is None:
+            return
+        spec = self.sessions[plan.session_id]
+        for dc in touched:
+            bus.send(
+                NcSettings(
+                    target=dc,
+                    session_ids=(plan.session_id,),
+                    roles=((plan.session_id, "coder"),),
+                    epoch=self.config_epoch,
+                )
+            )
+            bus.send(
+                NcForwardTab(
+                    target=dc,
+                    table_text=self.forwarding_table(dc),
+                    epoch=self.config_epoch,
+                )
+            )
+        bus.send(NcStart(target=spec.source_host(), session_id=plan.session_id))
+
+    def _record(self, verdict: AdmissionVerdict) -> AdmissionVerdict:
+        self.verdicts.append(verdict)
+        return verdict
+
+    # -- fleet views -------------------------------------------------------
+
+    def forwarding_table(self, dc: str) -> str:
+        """Deterministic text table of the routes crossing one PoP."""
+        lines: set[str] = set()
+        for sid in sorted(self.plans):
+            plan = self.plans[sid]
+            for _, path, rate in plan.path_rates:
+                if rate <= _RATE_TOL:
+                    continue
+                nodes = path.nodes
+                for i in range(1, len(nodes) - 1):
+                    if nodes[i] == dc:
+                        lines.add(f"{sid}:{nodes[i - 1]}->{nodes[i + 1]}")
+        return "\n".join(sorted(lines))
+
+    def forwarding_tables(self) -> dict[str, str]:
+        """Per-PoP tables; the equivalence property compares these."""
+        return {dc: self.forwarding_table(dc) for dc in sorted(self.datacenters)}
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self.plans)
+
+    @property
+    def total_throughput_mbps(self) -> float:
+        return sum(plan.lambda_mbps for plan in self.plans.values())
+
+    # -- whole-fleet resolve (the expensive baseline) ----------------------
+
+    def fleet_graph(self) -> nx.DiGraph:
+        """The full overlay as a DiGraph problem (2) can consume."""
+        g = nx.DiGraph()
+        dc_names = sorted(self.datacenters)
+        g.add_nodes_from(dc_names)
+        for a, b in sorted(self.shared_edges):
+            g.add_edge(a, b, capacity_mbps=self.backbone_mbps, delay_ms=self.wan[a][b])
+        for sid in sorted(self.sessions):
+            spec = self.sessions[sid]
+            source = spec.source_host()
+            for dc in self.attachments(spec.source_city):
+                g.add_edge(
+                    source,
+                    dc,
+                    capacity_mbps=self.access_mbps,
+                    delay_ms=self.wan[spec.source_city][dc] + self.access_delay_ms,
+                )
+            for host, city in zip(spec.receiver_hosts(), spec.receiver_cities):
+                for dc in self.attachments(city):
+                    g.add_edge(
+                        dc,
+                        host,
+                        capacity_mbps=self.access_mbps,
+                        delay_ms=self.wan[dc][city] + self.access_delay_ms,
+                    )
+        return g
+
+    def whole_fleet_resolve(self, backend: str = "highs") -> DeploymentPlan:
+        """Solve problem (2) over every live session at once.
+
+        This is the paper's per-event behaviour and the benchmark's
+        cold baseline: cost grows with the whole fleet, not the delta.
+        """
+        graph = self.fleet_graph()
+        specs = [
+            DataCenterSpec(
+                name=dc.name,
+                inbound_mbps=dc.inbound_mbps,
+                outbound_mbps=dc.outbound_mbps,
+                coding_mbps=dc.coding_mbps,
+            )
+            for dc in (self.datacenters[name] for name in sorted(self.datacenters))
+        ]
+        problem = DeploymentProblem(
+            graph,
+            specs,
+            alpha=self.alpha,
+            source_outbound_mbps=self.source_out_mbps,
+            receiver_inbound_mbps=self.receiver_in_mbps,
+            max_vnfs_per_dc=max(dc.max_vnfs for dc in self.datacenters.values()),
+        )
+        demands: list[SessionDemand] = []
+        for sid in sorted(self.sessions):
+            spec = self.sessions[sid]
+            session = MulticastSession(
+                source=spec.source_host(),
+                receivers=list(spec.receiver_hosts()),
+                max_delay_ms=spec.max_delay_ms,
+                fixed_rate_mbps=spec.rate_mbps,
+                session_id=sid,
+            )
+            demands.append(problem.build_demand(session, max_hops=3))
+        self.lp_solves += 1
+        return problem.solve(demands, backend=backend)
+
+
+def fleet_of(
+    cities: Iterable[str],
+    *,
+    inbound_mbps: float = 1_000.0,
+    outbound_mbps: float = 1_000.0,
+    coding_mbps: float = 900.0,
+    max_vnfs: int = 64,
+) -> list[FleetDataCenter]:
+    """Convenience: one uniform data center per PoP city."""
+    return [
+        FleetDataCenter(
+            name=city,
+            inbound_mbps=inbound_mbps,
+            outbound_mbps=outbound_mbps,
+            coding_mbps=coding_mbps,
+            max_vnfs=max_vnfs,
+        )
+        for city in cities
+    ]

@@ -33,6 +33,8 @@ class SimplexResult:
     success: bool
     status: str
     iterations: int = 0
+    basis: tuple[int, ...] | None = None
+    warm_started: bool = False
 
 
 def solve_simplex(
@@ -43,8 +45,19 @@ def solve_simplex(
     b_eq: npt.ArrayLike | None = None,
     bounds: Sequence[tuple[float | None, float | None]] | None = None,
     max_iter: int = 20000,
+    initial_basis: Sequence[int] | None = None,
 ) -> SimplexResult:
-    """Minimize ``c @ x`` subject to inequality/equality rows and bounds."""
+    """Minimize ``c @ x`` subject to inequality/equality rows and bounds.
+
+    ``initial_basis`` is the ``basis`` of a previous :class:`SimplexResult`
+    for a program with the *same standard-form shape* (same variables,
+    same rows in the same order — typically the same program with a
+    different rhs).  When the cached basis is still primal-feasible the
+    solve skips phase 1 entirely and starts phase 2 from that vertex;
+    when it is stale (singular, infeasible, or shaped wrong) the solver
+    silently falls back to the cold two-phase path, so passing a basis
+    is always safe.
+    """
     cost = np.asarray(c, dtype=np.float64)
     n = cost.shape[0]
     var_bounds: Sequence[tuple[float | None, float | None]] = (
@@ -104,6 +117,33 @@ def solve_simplex(
     big_a[neg] *= -1
     big_b[neg] *= -1
 
+    # --- warm start: reuse a prior basis, skipping phase 1 when it is
+    # still primal-feasible for the new rhs.
+    if initial_basis is not None:
+        warm = _warm_tableau(big_a, big_b, cost, initial_basis, n, total, m)
+        if warm is not None:
+            tableau_w, basis_w = warm
+            iters_w, status_w = _pivot_loop(tableau_w, basis_w, max_iter)
+            if status_w == "optimal":
+                x = np.zeros(total)
+                for i, bv in enumerate(basis_w):
+                    x[bv] = tableau_w[i, -1]
+                solution = x[:n] + shift
+                return SimplexResult(
+                    solution,
+                    float(cost @ solution),
+                    True,
+                    "optimal",
+                    iters_w,
+                    basis=tuple(basis_w),
+                    warm_started=True,
+                )
+            if status_w == "unbounded":
+                return SimplexResult(
+                    np.zeros(n), 0.0, False, status_w, iters_w, warm_started=True
+                )
+            # Iteration limit from a warm vertex: fall through and retry cold.
+
     # --- phase 1: artificial variables, minimize their sum.
     tableau = np.zeros((m + 1, total + m + 1))
     tableau[:m, :total] = big_a
@@ -147,7 +187,57 @@ def solve_simplex(
         if bv < total:
             x[bv] = tableau2[i, -1]
     solution = x[:n] + shift
-    return SimplexResult(solution, float(cost @ solution), True, "optimal", iters1 + iters2)
+    # Only a basis made purely of structural/slack columns can seed a
+    # warm start; a leftover artificial (redundant row) poisons it.
+    final_basis = tuple(basis) if all(bv < total for bv in basis) else None
+    return SimplexResult(
+        solution,
+        float(cost @ solution),
+        True,
+        "optimal",
+        iters1 + iters2,
+        basis=final_basis,
+    )
+
+
+def _warm_tableau(
+    big_a: FloatArray,
+    big_b: FloatArray,
+    cost: FloatArray,
+    initial_basis: Sequence[int],
+    n: int,
+    total: int,
+    m: int,
+) -> tuple[FloatArray, list[int]] | None:
+    """Build a phase-2 tableau from a cached basis, or None if stale.
+
+    The basis is stale when its shape no longer matches the program,
+    the basis matrix is singular, or the implied vertex is primal
+    infeasible for the new rhs (a basic value would be negative).
+    """
+    basis = [int(b) for b in initial_basis]
+    if len(basis) != m or len(set(basis)) != m:
+        return None
+    if any(b < 0 or b >= total for b in basis):
+        return None
+    b_mat = big_a[:, basis]
+    try:
+        binv = np.linalg.inv(b_mat)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.isfinite(binv).all():
+        return None
+    x_basic = binv @ big_b
+    if x_basic.min() < -1e-7:
+        return None
+    tableau = np.zeros((m + 1, total + 1))
+    tableau[:m, :total] = binv @ big_a
+    tableau[:m, -1] = np.maximum(x_basic, 0.0)
+    tableau[m, :n] = cost
+    for i, bv in enumerate(basis):
+        if abs(tableau[m, bv]) > _EPS:
+            tableau[m] -= tableau[m, bv] * tableau[i]
+    return tableau, basis
 
 
 def _pivot_loop(tableau: FloatArray, basis: list[int], max_iter: int) -> tuple[int, str]:

@@ -1,0 +1,134 @@
+"""Regression: session churn must not trigger whole-fleet re-solves.
+
+The controller once answered every departure with the full g1/g2
+rebalance — two fleet-wide LPs — even when the departing session's
+capacity was unreachable by anyone else.  These tests count actual
+``DeploymentProblem.solve`` invocations to pin the contract: a join is
+exactly one LP regardless of fleet size, and a departure whose freed
+footprint nobody's demand touches is zero.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import Controller, MulticastSession
+from repro.core.deployment import DataCenterSpec, DeploymentProblem
+from repro.net.events import EventScheduler
+
+
+def island_graph(n_islands: int) -> nx.DiGraph:
+    """n disjoint s_i -> DC_i -> r_i islands: zero capacity coupling."""
+    graph = nx.DiGraph()
+    for i in range(n_islands):
+        graph.add_edge(f"s{i}", f"D{i}", capacity_mbps=100.0, delay_ms=5.0)
+        graph.add_edge(f"D{i}", f"r{i}", capacity_mbps=100.0, delay_ms=5.0)
+    return graph
+
+
+def shared_dc_graph() -> nx.DiGraph:
+    """Two sessions forced through one DC: departures free contended capacity."""
+    graph = nx.DiGraph()
+    for i in range(2):
+        graph.add_edge(f"s{i}", "T", capacity_mbps=100.0, delay_ms=5.0)
+        graph.add_edge("T", f"r{i}", capacity_mbps=100.0, delay_ms=5.0)
+    return graph
+
+
+def make_controller(graph: nx.DiGraph, dc_names: list[str]) -> Controller:
+    return Controller(
+        graph,
+        [DataCenterSpec(name, 900, 900, 900) for name in dc_names],
+        EventScheduler(),
+        alpha=1.0,
+    )
+
+
+def island_session(i: int) -> MulticastSession:
+    return MulticastSession(source=f"s{i}", receivers=[f"r{i}"], max_delay_ms=100.0)
+
+
+@pytest.fixture
+def solve_counter(monkeypatch):
+    calls = []
+    original = DeploymentProblem.solve
+
+    def counted(self, demands, **kwargs):
+        calls.append(len(demands))
+        return original(self, demands, **kwargs)
+
+    monkeypatch.setattr(DeploymentProblem, "solve", counted)
+    return calls
+
+
+class TestJoinCost:
+    def test_each_join_is_exactly_one_lp(self, solve_counter):
+        controller = make_controller(island_graph(6), [f"D{i}" for i in range(6)])
+        for i in range(6):
+            controller.add_session(island_session(i))
+            # One solve per join, and the LP only carries the joining
+            # session's demand — the fleet rides along as frozen load.
+            assert len(solve_counter) == i + 1
+            assert solve_counter[-1] == 1
+
+    def test_join_cost_does_not_grow_with_fleet(self, solve_counter):
+        controller = make_controller(island_graph(8), [f"D{i}" for i in range(8)])
+        for i in range(8):
+            controller.add_session(island_session(i))
+        assert solve_counter == [1] * 8
+
+
+class TestDepartureCost:
+    def test_disjoint_departure_skips_the_rebalance(self, solve_counter):
+        controller = make_controller(island_graph(3), ["D0", "D1", "D2"])
+        sessions = [island_session(i) for i in range(3)]
+        for session in sessions:
+            controller.add_session(session)
+        rate_before = controller.lambdas[sessions[1].session_id]
+        del solve_counter[:]
+
+        result = controller.remove_session(sessions[0].session_id)
+
+        assert solve_counter == []  # zero LPs: nobody could use the freed capacity
+        assert result["rebalanced"] is False
+        assert result["chosen"] in ("g1", "g2")
+        # Survivors keep their exact plans; the freed island is drained.
+        assert controller.lambdas[sessions[1].session_id] == rate_before
+        assert controller.required_vnf_counts()["D0"] == 0
+
+    def test_contended_departure_still_rebalances(self, solve_counter):
+        controller = make_controller(shared_dc_graph(), ["T"])
+        sessions = [
+            MulticastSession(source=f"s{i}", receivers=[f"r{i}"], max_delay_ms=100.0)
+            for i in range(2)
+        ]
+        for session in sessions:
+            controller.add_session(session)
+        del solve_counter[:]
+
+        result = controller.remove_session(sessions[0].session_id)
+
+        # Freed capacity at T is inside the survivor's demand footprint:
+        # the full g1 (grow flows) vs g2 (shrink fleet) comparison runs.
+        assert result["rebalanced"] is True
+        assert result["chosen"] in ("g1", "g2")
+        assert len(solve_counter) == 2
+
+    def test_last_departure_is_free(self, solve_counter):
+        controller = make_controller(island_graph(1), ["D0"])
+        session = island_session(0)
+        controller.add_session(session)
+        del solve_counter[:]
+        result = controller.remove_session(session.session_id)
+        assert solve_counter == []
+        assert result["chosen"] in ("g1", "g2")
+        assert controller.required_vnf_counts() == {"D0": 0}
+
+    def test_footprint_cache_is_cleaned_up(self):
+        controller = make_controller(island_graph(2), ["D0", "D1"])
+        session = island_session(0)
+        controller.add_session(session)
+        assert session.session_id in controller._demand_footprints
+        controller.remove_session(session.session_id)
+        assert session.session_id not in controller._demand_footprints

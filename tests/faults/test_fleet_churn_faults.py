@@ -1,0 +1,158 @@
+"""Failure matrix × fleet churn: session joins/leaves during faults.
+
+New cells for the matrix: controller-visible session churn (a
+:class:`~repro.fleet.manager.FleetManager` admitting and departing
+sessions, pushing NC_SETTINGS / NC_FORWARD_TAB / NC_VNF_* over the
+*same* signal bus) runs concurrently with {vm-crash, link-flap} faults
+injected into the packet-level butterfly.  The contracts:
+
+- the surviving data-plane session keeps decoding at full rank;
+- vm-crash MTTR stays inside the PR 3 envelope (< 1 s to first
+  post-crash decode at every receiver);
+- every churn join still ends in a typed verdict — faults on the data
+  plane never leak untyped outcomes into the admission path;
+- no control signal becomes undeliverable: churn traffic and recovery
+  pushes coexist on one bus without eating each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.failures import run_butterfly_failover
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.faults.injector import link_key
+from repro.fleet import AdmissionStatus, FleetManager, SessionSpec, fleet_of
+
+CHURN_DC_CITIES = ("Seattle", "Denver", "Chicago", "Houston", "New York")
+
+#: (time_s, "join"/"leave", session id) — interleaved around the t=1.0 s
+#: fault window so admissions land before, during, and after recovery.
+CHURN_SCRIPT = (
+    (0.2, "join", 1),
+    (0.6, "join", 2),
+    (1.2, "join", 3),
+    (1.7, "leave", 1),
+    (2.0, "leave", 2),
+)
+
+CHURN_SPECS = {
+    1: SessionSpec(session_id=1, source_city="Portland", receiver_cities=("Boston",), rate_mbps=10.0),
+    # Tight delay bound leaves exactly one candidate path (via the
+    # Houston DC, which no other session touches): session 2 cannot
+    # detour through VNFs others already launched, so its departure
+    # drains Houston and the crash cell gets to observe an NC_VNF_END
+    # retirement mid-faults.
+    2: SessionSpec(
+        session_id=2,
+        source_city="El Paso",
+        receiver_cities=("Baton Rouge",),
+        rate_mbps=20.0,
+        max_delay_ms=18.0,
+    ),
+    3: SessionSpec(session_id=3, source_city="Sunnyvale", receiver_cities=("Miami", "Boston"), rate_mbps=5.0),
+}
+
+
+class ChurnDriver:
+    """Builds the churn hook and keeps the manager for assertions."""
+
+    def __init__(self):
+        self.manager: FleetManager | None = None
+        self.verdicts = []
+        self.departed = []
+
+    def hook(self, scheduler, bus) -> None:
+        # Sink endpoints for the fleet's config pushes: every DC and
+        # every source host must be addressable or the bus records the
+        # sends as undeliverable (which the cells assert against).
+        for city in CHURN_DC_CITIES:
+            bus.register(city, lambda signal: None)
+        for spec in CHURN_SPECS.values():
+            bus.register(spec.source_host(), lambda signal: None)
+        self.manager = FleetManager(
+            fleet_of(CHURN_DC_CITIES, inbound_mbps=400.0, outbound_mbps=400.0, coding_mbps=360.0),
+            bus=bus,
+        )
+        for at, kind, sid in CHURN_SCRIPT:
+            if kind == "join":
+                scheduler.schedule_at(at, lambda s=sid: self.verdicts.append(self.manager.admit(CHURN_SPECS[s])))
+            else:
+                scheduler.schedule_at(at, lambda s=sid: self.departed.append((s, self.manager.depart(s))))
+
+
+def assert_churn_completed_typed(driver: ChurnDriver) -> None:
+    assert len(driver.verdicts) == 3
+    assert all(v.status is AdmissionStatus.ADMITTED for v in driver.verdicts)
+    assert all(released is not None for _, released in driver.departed)
+    epochs = [v.epoch for v in driver.verdicts]
+    assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+    # Only session 3 remains; the index agrees with its plans alone.
+    assert driver.manager.active_sessions == 1
+
+
+class TestVmCrashUnderChurn:
+    def test_crash_cell_keeps_full_rank_and_mttr_envelope(self):
+        driver = ChurnDriver()
+        r = run_butterfly_failover(duration_s=2.5, churn_hook=driver.hook)
+        # The data-plane contract is unchanged by concurrent churn:
+        # detect, replan, keep decoding at full rank on both receivers.
+        assert r.recovered
+        assert r.detection_latency_s == pytest.approx(0.4, abs=1e-9)
+        assert r.recovery_latency_s is not None and r.recovery_latency_s < 1.0
+        for name in r.receivers:
+            assert r.decoded_before[name] > 0
+            assert r.decoded_after[name] > 0
+        assert_churn_completed_typed(driver)
+        assert r.undeliverable_signals == 0
+
+    def test_crash_cell_is_deterministic_with_churn(self):
+        def run_once():
+            driver = ChurnDriver()
+            r = run_butterfly_failover(duration_s=2.5, churn_hook=driver.hook)
+            return (
+                r.recovery_latency_s,
+                tuple(v.canonical() for v in driver.verdicts),
+                driver.manager.index.canonical(),
+            )
+
+        assert run_once() == run_once()
+
+    def test_churn_rides_the_same_bus_as_recovery(self):
+        driver = ChurnDriver()
+        r = run_butterfly_failover(duration_s=2.5, churn_hook=driver.hook)
+        kinds = {record.signal.kind for record in r.bus.log}
+        # Fleet config pushes and the healing layer's table pushes are
+        # interleaved on one bus — the cell exercises real contention.
+        assert {"NcSettings", "NcForwardTab", "NcStart", "NcVnfStart", "NcVnfEnd"} <= kinds
+
+
+class TestLinkFlapUnderChurn:
+    def test_flap_cell_absorbs_and_admissions_stay_typed(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(0.4, FaultKind.LINK_DOWN, link_key("V1", "C1")),
+                FaultEvent(0.8, FaultKind.LINK_UP, link_key("V1", "C1")),
+            ]
+        )
+        driver = ChurnDriver()
+        r = run_butterfly_failover(
+            duration_s=2.5, fail_at_s=0.4, plan=plan, churn_hook=driver.hook
+        )
+        # No node died, so no death verdict — the flap is absorbed by
+        # the ARQ layer and decoding continues on both receivers.
+        assert r.dead_nodes == []
+        for name in r.receivers:
+            assert r.decoded_after[name] > 0
+            assert r.decode_stall_s[name] < 1.0
+        assert_churn_completed_typed(driver)
+        assert r.undeliverable_signals == 0
+
+    def test_churn_without_faults_is_the_control_cell(self):
+        driver = ChurnDriver()
+        r = run_butterfly_failover(duration_s=2.5, plan=FaultPlan([]), churn_hook=driver.hook)
+        assert r.dead_nodes == []
+        for name in r.receivers:
+            assert r.decoded_after[name] > 0
+        assert_churn_completed_typed(driver)
+        assert r.undeliverable_signals == 0

@@ -1,0 +1,123 @@
+"""SurplusIndex unit tests: O(plan) bookkeeping vs. from-scratch truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.capacity import FleetDataCenter, FleetPlan, SurplusIndex
+from repro.routing.paths import Path
+
+
+def _dc(name: str, cap: float = 100.0, quota: int = 4) -> FleetDataCenter:
+    return FleetDataCenter(
+        name=name, inbound_mbps=cap, outbound_mbps=cap, coding_mbps=cap * 0.9, max_vnfs=quota
+    )
+
+
+def _plan(sid: int, rate: float, nodes: tuple[str, ...]) -> FleetPlan:
+    path = Path(nodes=nodes, delay_ms=10.0)
+    return FleetPlan(
+        session_id=sid,
+        lambda_mbps=rate,
+        path_rates=((nodes[-1], path, rate),),
+        edge_rates=tuple((edge, rate) for edge in path.edges),
+    )
+
+
+@pytest.fixture
+def index() -> SurplusIndex:
+    dcs = {"A": _dc("A"), "B": _dc("B")}
+    caps = {("A", "B"): 500.0, ("B", "A"): 500.0}
+    return SurplusIndex(caps, dcs)
+
+
+class TestSurplusIndex:
+    def test_residual_starts_at_capacity(self, index: SurplusIndex):
+        assert index.residual(("A", "B")) == 500.0
+
+    def test_unknown_edge_raises(self, index: SurplusIndex):
+        with pytest.raises(KeyError):
+            index.residual(("A", "Z"))
+
+    def test_apply_charges_shared_edges_and_dcs(self, index: SurplusIndex):
+        index.apply(_plan(1, 40.0, ("s", "A", "B", "r")))
+        assert index.residual(("A", "B")) == pytest.approx(460.0)
+        assert index.dc_in["A"] == pytest.approx(40.0)   # s->A
+        assert index.dc_out["A"] == pytest.approx(40.0)  # A->B
+        assert index.dc_in["B"] == pytest.approx(40.0)
+        assert index.dc_out["B"] == pytest.approx(40.0)  # B->r
+
+    def test_release_round_trips(self, index: SurplusIndex):
+        plan = _plan(1, 40.0, ("s", "A", "B", "r"))
+        index.apply(plan)
+        index.release(plan)
+        assert index.residual(("A", "B")) == pytest.approx(500.0)
+        assert index.dc_in["A"] == pytest.approx(0.0)
+        assert index.dc_out["B"] == pytest.approx(0.0)
+
+    def test_required_vnfs_uses_effective_in_cap(self, index: SurplusIndex):
+        # in_cap = min(100, 90) = 90; 95 Mbps inbound needs 2 VNFs.
+        index.apply(_plan(1, 95.0, ("s", "A", "r")))
+        assert index.required_vnfs("A") == 2
+
+    def test_required_vnfs_ceil_guard(self, index: SurplusIndex):
+        # Exactly 1 VNF's worth of load must not round to 2 on float noise.
+        index.apply(_plan(1, 30.0, ("s", "A", "r")))
+        index.apply(_plan(2, 30.0, ("t", "A", "q")))
+        index.apply(_plan(3, 30.0, ("u", "A", "w")))
+        assert index.dc_in["A"] == pytest.approx(90.0)
+        assert index.required_vnfs("A") == 1
+
+    def test_slack_reflects_live_vnfs(self, index: SurplusIndex):
+        index.apply(_plan(1, 50.0, ("s", "A", "r")))
+        index.vnfs["A"] = 1
+        assert index.slack_in("A") == pytest.approx(90.0 - 50.0)
+        assert index.slack_out("A") == pytest.approx(100.0 - 50.0)
+
+    def test_vnf_headroom_tracks_quota(self, index: SurplusIndex):
+        assert index.vnf_headroom("A") == 4
+        index.vnfs["A"] = 3
+        assert index.vnf_headroom("A") == 1
+
+    def test_rebuild_matches_incremental(self, index: SurplusIndex):
+        plans = [
+            _plan(1, 40.0, ("s", "A", "B", "r")),
+            _plan(2, 25.0, ("t", "B", "q")),
+            _plan(3, 10.0, ("u", "A", "w")),
+        ]
+        for plan in plans:
+            index.apply(plan)
+        index.vnfs = {dc: index.required_vnfs(dc) for dc in ("A", "B")}
+        index.vnfs = {dc: n for dc, n in index.vnfs.items() if n > 0}
+        fresh = SurplusIndex(index.edge_caps, index.datacenters)
+        fresh.rebuild(plans)
+        assert fresh.vnfs == index.vnfs
+        for edge in index.edge_caps:
+            assert fresh.residual(edge) == pytest.approx(index.residual(edge))
+        for dc in ("A", "B"):
+            assert fresh.dc_in.get(dc, 0.0) == pytest.approx(index.dc_in.get(dc, 0.0))
+            assert fresh.dc_out.get(dc, 0.0) == pytest.approx(index.dc_out.get(dc, 0.0))
+
+    def test_canonical_is_deterministic(self, index: SurplusIndex):
+        plan = _plan(1, 40.0, ("s", "A", "B", "r"))
+        index.apply(plan)
+        snap = index.canonical()
+        assert index.canonical() == snap
+        index.release(plan)
+        assert index.canonical() != snap
+
+
+class TestFleetDataCenter:
+    def test_rejects_nonpositive_caps(self):
+        with pytest.raises(ValueError):
+            FleetDataCenter(name="X", inbound_mbps=0.0, outbound_mbps=1.0, coding_mbps=1.0)
+
+    def test_rejects_zero_quota(self):
+        with pytest.raises(ValueError):
+            FleetDataCenter(
+                name="X", inbound_mbps=1.0, outbound_mbps=1.0, coding_mbps=1.0, max_vnfs=0
+            )
+
+    def test_in_cap_is_min_of_inbound_and_coding(self):
+        dc = _dc("A", cap=100.0)
+        assert dc.in_cap_mbps == pytest.approx(90.0)

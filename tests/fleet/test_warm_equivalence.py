@@ -1,0 +1,156 @@
+"""Property battery: warm incremental replanning ≡ cold whole-rebuild.
+
+Hypothesis generates arbitrary join/leave programs over the OS3E
+overlay and drives two managers — one incremental (warm-started delta
+solves against the live surplus index), one cold (index rebuilt from
+scratch before every event, no basis reuse).  The modes must be
+observationally identical: same verdict sequence, same achieved rates,
+same deployed forwarding tables, same VNF counts.  When a property
+fails, shrinking reduces the program to the minimal event sequence
+that exposes the divergence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.fleet import COLD, INCREMENTAL, FleetManager, SessionSpec, fleet_of
+from repro.fleet.capacity import SurplusIndex
+
+# A spread of PoPs with genuinely different geometry: coastal pairs
+# stress the delay bound, the interior ones share attachment DCs.
+CITIES = (
+    "Seattle",
+    "Sunnyvale",
+    "Denver",
+    "Chicago",
+    "Houston",
+    "Atlanta",
+    "New York",
+)
+DC_CITIES = ("Seattle", "Denver", "Chicago", "Houston", "New York")
+RATES = (5.0, 10.0, 20.0)
+# 16 ms is infeasible cross-country; 80 ms admits everything — the mix
+# exercises both the infeasible-typed path and real routing.
+DELAYS = (16.0, 80.0)
+
+Program = list[tuple[str, SessionSpec | int]]
+
+
+def _manager(mode: str) -> FleetManager:
+    # Tight quotas so capacity rejections are reachable within a short
+    # generated program, not just at soak scale.
+    dcs = fleet_of(
+        DC_CITIES, inbound_mbps=60.0, outbound_mbps=60.0, coding_mbps=54.0, max_vnfs=2
+    )
+    return FleetManager(dcs, mode=mode)
+
+
+@st.composite
+def churn_programs(draw: st.DrawFn) -> Program:
+    """A shrinkable join/leave program: leaves only target live ids."""
+    n_ops = draw(st.integers(min_value=1, max_value=10))
+    ops: Program = []
+    live: list[int] = []
+    sid = 0
+    for _ in range(n_ops):
+        if live and draw(st.booleans()):
+            victim = live.pop(draw(st.integers(0, len(live) - 1)))
+            ops.append(("leave", victim))
+            continue
+        sid += 1
+        source = draw(st.sampled_from(CITIES))
+        receivers = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(CITIES), min_size=1, max_size=2, unique=True
+                )
+            )
+        )
+        spec = SessionSpec(
+            session_id=sid,
+            source_city=source,
+            receiver_cities=receivers,
+            rate_mbps=draw(st.sampled_from(RATES)),
+            max_delay_ms=draw(st.sampled_from(DELAYS)),
+        )
+        ops.append(("join", spec))
+        live.append(sid)
+    return ops
+
+
+def _drive(manager: FleetManager, program: Program) -> list[tuple]:
+    observed: list[tuple] = []
+    for kind, payload in program:
+        if kind == "join":
+            assert isinstance(payload, SessionSpec)
+            verdict = manager.admit(payload)
+            observed.append(("join", payload.session_id, verdict.status, verdict.lambda_mbps))
+        else:
+            released = manager.depart(int(payload))  # type: ignore[arg-type]
+            observed.append(("leave", payload, released is not None))
+    return observed
+
+
+class TestWarmEqualsCold:
+    @settings(max_examples=30, deadline=None)
+    @given(program=churn_programs())
+    def test_verdicts_and_rates_match(self, program: Program):
+        warm = _drive(_manager(INCREMENTAL), program)
+        cold = _drive(_manager(COLD), program)
+        assert len(warm) == len(cold)
+        for w, c in zip(warm, cold):
+            assert w[:3] == c[:3], f"event diverged: {w} vs {c}"
+            if w[0] == "join":
+                assert w[3] == pytest.approx(c[3], abs=1e-6), (
+                    f"session {w[1]}: λ {w[3]} (warm) vs {c[3]} (cold)"
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=churn_programs())
+    def test_deployed_state_matches(self, program: Program):
+        warm_mgr = _manager(INCREMENTAL)
+        cold_mgr = _manager(COLD)
+        _drive(warm_mgr, program)
+        _drive(cold_mgr, program)
+        # The final deployed artifacts — not just objectives — must be
+        # identical: tables drive the data plane, vnfs drive the bill.
+        assert warm_mgr.forwarding_tables() == cold_mgr.forwarding_tables()
+        assert warm_mgr.index.vnfs == cold_mgr.index.vnfs
+        assert warm_mgr.index.canonical() == cold_mgr.index.canonical()
+        assert warm_mgr.config_epoch == cold_mgr.config_epoch
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=churn_programs())
+    def test_index_matches_fresh_rebuild(self, program: Program):
+        # The O(plan) apply/release bookkeeping must never drift from
+        # the from-scratch truth, no matter the interleaving.
+        manager = _drive_and_return(_manager(INCREMENTAL), program)
+        fresh = SurplusIndex(manager.index.edge_caps, manager.index.datacenters)
+        fresh.rebuild(list(manager.plans.values()))
+        assert fresh.canonical() == manager.index.canonical()
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=churn_programs())
+    def test_replans_preserve_the_fleet(self, program: Program):
+        # Replanning every live session after an arbitrary program is a
+        # no-op on observables: same rates, same index state as a cold
+        # manager that saw the same program then replanned too.
+        warm_mgr = _manager(INCREMENTAL)
+        cold_mgr = _manager(COLD)
+        _drive(warm_mgr, program)
+        _drive(cold_mgr, program)
+        for sid in sorted(warm_mgr.sessions):
+            vw = warm_mgr.replan_session(sid)
+            vc = cold_mgr.replan_session(sid)
+            assert vw.status is vc.status
+            assert vw.lambda_mbps == pytest.approx(vc.lambda_mbps, abs=1e-6)
+        assert warm_mgr.index.canonical() == cold_mgr.index.canonical()
+
+
+def _drive_and_return(manager: FleetManager, program: Program) -> FleetManager:
+    _drive(manager, program)
+    return manager
