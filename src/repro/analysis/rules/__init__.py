@@ -11,6 +11,7 @@ from repro.analysis.rules.rl008_measurement_windows import MeasurementWindowRule
 from repro.analysis.rules.rl009_epoch_monotonicity import EpochMonotonicityRule
 from repro.analysis.rules.rl010_wallclock_reachability import WallClockReachabilityRule
 from repro.analysis.rules.rl011_unverified_buffering import UnverifiedBufferingRule
+from repro.analysis.rules.rl012_port_over_bus import PortOverBusRule
 
 __all__ = [
     "UnseededRngRule",
@@ -24,4 +25,5 @@ __all__ = [
     "EpochMonotonicityRule",
     "WallClockReachabilityRule",
     "UnverifiedBufferingRule",
+    "PortOverBusRule",
 ]

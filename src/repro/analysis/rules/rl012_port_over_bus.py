@@ -1,0 +1,213 @@
+"""RL012 — concrete ``SignalBus`` where ``SignalPort`` suffices.
+
+:class:`~repro.core.signals.SignalPort` is the structural protocol a
+signal consumer actually needs — ``register``, ``unregister``,
+``send`` — and it is what lets facades (the orchestrator's cluster
+fan-out bus, test doubles, the sharded controllers' per-domain buses)
+stand in for the real :class:`~repro.core.signals.SignalBus`.  A
+parameter annotated with the concrete class couples its owner to one
+bus implementation for no reason and quietly blocks substitution.
+
+The rule flags a parameter annotated ``SignalBus`` (bare, ``| None``,
+or ``Optional[...]``) whose value is only ever used through the port
+surface.  A use *demands* the concrete class — and exempts the
+parameter — when it
+
+- touches any attribute outside the port surface (``latency_s``,
+  ``fault_hook``, ``is_registered``, ``log``, …), or
+- lets the bare reference escape the scope (passed to another call,
+  returned, stored anywhere but the tracked ``self`` slot), where this
+  rule cannot follow it.
+
+``None`` checks and truthiness tests stay within the port contract.
+For ``__init__`` parameters mirrored onto ``self`` the whole class
+body is the scope.  Scopes that construct ``SignalBus(...)`` are
+exempt wholesale: building the concrete bus is what they are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import SourceModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleRule, register
+
+_BUS_TYPE = "SignalBus"
+
+#: The SignalPort protocol surface (repro.core.signals.SignalPort).
+_PORT_SURFACE = frozenset({"register", "unregister", "send"})
+
+
+def _names_bus_type(node: ast.expr) -> bool:
+    """True when an annotation expression names the concrete SignalBus."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == _BUS_TYPE:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == _BUS_TYPE:
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str) and _BUS_TYPE in sub.value:
+            return True
+    return False
+
+
+def _constructs_bus(scope: ast.AST) -> bool:
+    """Whether the scope calls ``SignalBus(...)`` (needs the real class)."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == _BUS_TYPE:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == _BUS_TYPE:
+                return True
+    return False
+
+
+def _parent_map(scope: ast.AST) -> dict[ast.AST, ast.AST]:
+    return {
+        child: parent for parent in ast.walk(scope) for child in ast.iter_child_nodes(parent)
+    }
+
+
+def _is_none_check(parent: ast.AST, ref: ast.expr) -> bool:
+    if not isinstance(parent, ast.Compare) or parent.left is not ref:
+        return False
+    return all(isinstance(op, (ast.Is, ast.IsNot)) for op in parent.ops) and all(
+        isinstance(c, ast.Constant) and c.value is None for c in parent.comparators
+    )
+
+
+def _is_truthiness(parent: ast.AST, ref: ast.expr) -> bool:
+    if isinstance(parent, (ast.If, ast.While, ast.IfExp, ast.Assert)) and parent.test is ref:
+        return True
+    return isinstance(parent, (ast.BoolOp, ast.UnaryOp))
+
+
+def _port_only(
+    refs: list[ast.expr], parents: dict[ast.AST, ast.AST], allowed_stores: set[ast.AST]
+) -> bool:
+    """True when every reference stays within the SignalPort contract."""
+    for ref in refs:
+        parent = parents.get(ref)
+        if parent is None:
+            return False
+        if isinstance(parent, ast.Attribute) and parent.value is ref:
+            if parent.attr in _PORT_SURFACE:
+                continue
+            return False  # concrete-only attribute
+        if _is_none_check(parent, ref) or _is_truthiness(parent, ref):
+            continue
+        if parent in allowed_stores:
+            continue  # the tracked ``self.<attr> = param`` mirror
+        return False  # escapes: call argument, return, foreign store, …
+    return True
+
+
+def _self_store(init: ast.FunctionDef | ast.AsyncFunctionDef, param: str) -> str | None:
+    """The ``self.<attr>`` slot ``param`` is mirrored onto, if any."""
+    for node in ast.walk(init):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Attribute)
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id == "self"
+        ):
+            return node.targets[0].attr
+    return None
+
+
+def _name_refs(scope: ast.AST, name: str) -> list[ast.expr]:
+    return [
+        node
+        for node in ast.walk(scope)
+        if isinstance(node, ast.Name) and node.id == name and isinstance(node.ctx, ast.Load)
+    ]
+
+
+def _self_attr_refs(scope: ast.AST, attr: str) -> list[ast.expr]:
+    return [
+        node
+        for node in ast.walk(scope)
+        if isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and isinstance(node.ctx, ast.Load)
+    ]
+
+
+@register
+class PortOverBusRule(ModuleRule):
+    rule_id = "RL012"
+    name = "port-over-bus"
+    description = "parameter annotated with concrete SignalBus where the SignalPort protocol suffices"
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return module.in_package("repro")
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        classes = {
+            node: parent_class
+            for parent_class in ast.walk(module.tree)
+            if isinstance(parent_class, ast.ClassDef)
+            for node in parent_class.body
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                ann = arg.annotation
+                if ann is None or not _names_bus_type(ann):
+                    continue
+                finding = self._check_param(node, arg, classes.get(node), module)
+                if finding is not None:
+                    yield finding
+
+    def _check_param(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        arg: ast.arg,
+        owner: ast.ClassDef | None,
+        module: SourceModule,
+    ) -> Finding | None:
+        scope: ast.AST = func
+        refs = _name_refs(func, arg.arg)
+        allowed_stores: set[ast.AST] = set()
+        if func.name == "__init__" and owner is not None:
+            slot = _self_store(func, arg.arg)
+            if slot is not None:
+                # The param lives on as ``self.<slot>``: the class body
+                # becomes the scope and the mirror store is legitimate.
+                scope = owner
+                allowed_stores = {
+                    node
+                    for node in ast.walk(func)
+                    if isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == arg.arg
+                }
+                refs = refs + _self_attr_refs(owner, slot)
+        if _constructs_bus(scope):
+            return None  # building the concrete bus is this scope's job
+        if not refs:
+            return None  # unused here; some other layer consumes it
+        parents = _parent_map(scope)
+        if not _port_only(refs, parents, allowed_stores):
+            return None
+        where = f"{owner.name}.{func.name}" if owner is not None else func.name
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.posix_path,
+            line=arg.lineno,
+            col=arg.col_offset,
+            message=(
+                f"{where}() annotates {arg.arg!r} as SignalBus but only uses the "
+                "register/unregister/send surface — annotate it SignalPort so facades "
+                "and per-shard buses can substitute (DESIGN.md §14)"
+            ),
+        )

@@ -20,9 +20,11 @@ When ``heartbeat_interval_s`` is set, the daemon emits periodic
 ``NC_HEARTBEAT`` signals to the controller; the controller's failure
 detector declares the VNF dead after a configurable number of misses.
 
-Staleness defense (DESIGN.md §11): the bus delivers at-least-once and
-possibly out of order (retries, fault-hook delays), so the daemon keeps
-the highest config epoch it has applied and rejects older
+Staleness defense (DESIGN.md §11, §14): the bus delivers at-least-once
+and possibly out of order (retries, fault-hook delays), so the daemon
+keeps the highest ``(fence, epoch)`` config stamp it has applied — the
+shard-lease fence orders configs across controller takeovers, the
+epoch within one primary's reign — and rejects older
 ``NC_FORWARD_TAB``/``NC_SETTINGS`` (``stale_rejected``), and it
 remembers recently seen ``signal_id``s so a re-delivered signal is
 acted on exactly once (``duplicate_dropped``).  Both defenses die with
@@ -37,6 +39,7 @@ from typing import Callable
 from repro.core.forwarding import ForwardingTable
 from repro.core.session import CodingConfig
 from repro.core.signals import (
+    ConfigEpochGate,
     NcForwardTab,
     NcHeartbeat,
     NcSettings,
@@ -88,8 +91,7 @@ class VnfDaemon:
         self.total_pause_s = 0.0
         self.heartbeats_sent = 0
         # Staleness / duplicate defense (per daemon process lifetime).
-        self.config_epoch = 0
-        self.stale_rejected = 0
+        self._config_gate = ConfigEpochGate()
         self.duplicate_dropped = 0
         self._seen_signal_ids: dict[int, None] = {}  # insertion-ordered bounded set
         self._heartbeat: PeriodicEvent | None = None
@@ -142,9 +144,13 @@ class VnfDaemon:
             return
         self.alive = True
         self.restarts += 1
-        # Process amnesia: a fresh daemon has no epoch memory and no
-        # dedup window — it accepts whatever the controller sends next.
-        self.config_epoch = 0
+        # Process amnesia: a fresh daemon has no epoch/fence memory and
+        # no dedup window — it accepts whatever the controller sends
+        # next (the stale_rejected tally survives; it is telemetry, not
+        # process state).
+        rejected = self._config_gate.stale_rejected
+        self._config_gate = ConfigEpochGate()
+        self._config_gate.stale_rejected = rejected
         self._seen_signal_ids.clear()
         self.bus.register(self.vnf.name, self.handle_signal)
         self._start_heartbeat()
@@ -178,21 +184,35 @@ class VnfDaemon:
             self._seen_signal_ids.pop(next(iter(self._seen_signal_ids)))
         return False
 
-    def _accepts_epoch(self, epoch: int) -> bool:
+    @property
+    def config_epoch(self) -> int:
+        """Highest config epoch applied by this daemon process."""
+        return self._config_gate.epoch
+
+    @property
+    def config_fence(self) -> int:
+        """Shard-lease fence of the newest config applied (0 pre-shard)."""
+        return self._config_gate.fence
+
+    @property
+    def stale_rejected(self) -> int:
+        """Config signals refused for carrying an older (fence, epoch)."""
+        return self._config_gate.stale_rejected
+
+    def _accepts_config(self, fence: int, epoch: int) -> bool:
         """True when a config signal is current; counts stale rejections.
 
-        Equal epochs are accepted — distinct signals of one controller
-        push (table + settings) share an epoch, and epoch-0 senders that
-        predate the epoch protocol keep working.
+        Configs are ordered by ``(fence, epoch)``: the shard-lease fence
+        dominates, so a deposed primary's table loses to the successor's
+        first push no matter how far its private epoch counter ran.
+        Equal stamps are accepted — distinct signals of one controller
+        push (table + settings) share one — and fence/epoch-0 senders
+        that predate the protocols keep working.
         """
-        if epoch < self.config_epoch:
-            self.stale_rejected += 1
-            return False
-        self.config_epoch = epoch
-        return True
+        return self._config_gate.accepts(fence, epoch)
 
     def _on_settings(self, signal: NcSettings) -> None:
-        if not self._accepts_epoch(signal.epoch):
+        if not self._accepts_config(signal.fence, signal.epoch):
             return
         for session_id, role_name in signal.roles:
             config = self.session_configs.get(session_id, CodingConfig())
@@ -214,8 +234,8 @@ class VnfDaemon:
             self._apply_table(table)
 
     def _on_forward_tab(self, signal: NcForwardTab) -> None:
-        if not self._accepts_epoch(signal.epoch):
-            return  # pre-replan table delayed past a newer config: discard
+        if not self._accepts_config(signal.fence, signal.epoch):
+            return  # pre-replan or deposed-primary table: discard
         table = ForwardingTable.parse(signal.table_text)
         if not self.function_running:
             self.pending_table = table  # applied as soon as the function is up

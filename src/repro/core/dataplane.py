@@ -32,12 +32,17 @@ import numpy as np
 
 from repro.apps.file_transfer import NcReceiverApp, NcSourceApp
 from repro.core.deployment import DeploymentPlan
-from repro.core.forwarding import ForwardingTable
 from repro.core.session import MulticastSession
 from repro.core.vnf import CodingVnf, VnfDispatcher, VnfRole
+from repro.net.events import EventScheduler
 from repro.net.topology import LinkSpec, Topology
 
 CONTROL_LINK_MBPS = 5.0
+
+
+#: Per-session configuration intent for one data center: role, next
+#: hops, and {hop: skip} output shapes.
+IntendedConfig = tuple[VnfRole, list[str], dict[str, int]]
 
 
 @dataclass
@@ -45,13 +50,13 @@ class LiveDeployment:
     """A running packet-level instantiation of a deployment plan."""
 
     topology: Topology
-    sources: dict = dataclass_field(default_factory=dict)    # session id -> NcSourceApp
-    receivers: dict = dataclass_field(default_factory=dict)  # (session id, node) -> NcReceiverApp
-    vnfs: dict = dataclass_field(default_factory=dict)       # dc name -> list[CodingVnf]
-    dispatchers: dict = dataclass_field(default_factory=dict)
+    sources: dict[int, NcSourceApp] = dataclass_field(default_factory=dict)
+    receivers: dict[tuple[int, str], NcReceiverApp] = dataclass_field(default_factory=dict)
+    vnfs: dict[str, list[CodingVnf]] = dataclass_field(default_factory=dict)
+    dispatchers: dict[str, VnfDispatcher] = dataclass_field(default_factory=dict)
     # dc name -> {session id: (role, [next hops], {hop: skip})}; what the
     # control plane must configure when configure=False was used.
-    intended: dict = dataclass_field(default_factory=dict)
+    intended: dict[str, dict[int, IntendedConfig]] = dataclass_field(default_factory=dict)
 
     def start(self) -> None:
         for source in self.sources.values():
@@ -87,14 +92,14 @@ class LiveDeployment:
 def build_data_plane(
     plan: DeploymentPlan,
     graph: nx.DiGraph,
-    sessions: list,
+    sessions: list[MulticastSession],
     payload_mode: str = "coefficients-only",
     rate_fraction: float = 1.0,
     queue_bytes: int = 48 * 1024,
     jitter_s: float = 0.003,
     vnf_coding_mbps: float = 900.0,
     seed: int = 1,
-    scheduler=None,
+    scheduler: EventScheduler | None = None,
     configure: bool = True,
 ) -> LiveDeployment:
     """Instantiate ``plan`` over ``graph`` for the given sessions.
@@ -114,7 +119,7 @@ def build_data_plane(
     topo = Topology(rng=rng) if scheduler is None else Topology(scheduler=scheduler, rng=rng)
 
     # -- which links the plan actually uses --------------------------------
-    used_edges: set = set()
+    used_edges: set[tuple[str, str]] = set()
     for sid, decomposition in plan.decompositions.items():
         if sid not in sessions_by_id:
             continue
@@ -124,6 +129,7 @@ def build_data_plane(
     used_nodes = {n for e in used_edges for n in e}
 
     # -- nodes: dispatched VNF clusters at data centers, hosts elsewhere ----
+    deployment = LiveDeployment(topology=topo)
     for name in sorted(used_nodes):
         count = plan.vnf_counts.get(name, 0)
         if count <= 0:
@@ -142,24 +148,15 @@ def build_data_plane(
             )
             for _ in range(count)
         ]
+        deployment.vnfs[name] = instances
         if count == 1:
             topo.add_node(instances[0])
         else:
             dispatcher = VnfDispatcher(name, topo.scheduler)
             for vnf in instances:
                 dispatcher.add_instance(vnf)
+            deployment.dispatchers[name] = dispatcher
             topo.add_node(dispatcher)
-
-    deployment = LiveDeployment(topology=topo)
-    for name in sorted(used_nodes):
-        count = plan.vnf_counts.get(name, 0)
-        if count > 0:
-            node = topo.get(name)
-            if isinstance(node, VnfDispatcher):
-                deployment.dispatchers[name] = node
-                deployment.vnfs[name] = list(node.instances)
-            else:
-                deployment.vnfs[name] = [node]
 
     # -- links: used data links + reverse control links ---------------------
     for (u, v) in sorted(used_edges):
@@ -187,7 +184,7 @@ def build_data_plane(
         if not link_rates:
             continue
         inflow: dict[str, float] = {}
-        next_hops: dict[str, list] = {}
+        next_hops: dict[str, list[str]] = {}
         for (u, v), rate in link_rates.items():
             inflow[v] = inflow.get(v, 0.0) + rate
             next_hops.setdefault(u, []).append(v)
@@ -200,7 +197,7 @@ def build_data_plane(
             incoming = [e for e in link_rates if e[1] == name]
             role = VnfRole.RECODER if len(incoming) > 1 else VnfRole.FORWARDER
             node_in = inflow.get(name, 0.0)
-            shapes: dict = {}
+            shapes: dict[str, int] = {}
             if role is VnfRole.RECODER and node_in > 0:
                 for hop in hops:
                     out_rate = link_rates[(name, hop)]

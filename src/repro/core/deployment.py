@@ -31,13 +31,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field as dataclass_field
+from typing import Sequence
 
 import networkx as nx
 
 from repro.core.session import MulticastSession
-from repro.lp import LinearProgram, SolveError, round_up_integers
+from repro.lp import LinearProgram, LinExpr, SolveError, Variable, round_up_integers
 from repro.routing.conceptual import ConceptualFlow, FlowDecomposition
 from repro.routing.paths import Path, feasible_path_sets
+
+#: A directed link, and what an LP expression may still be mid-fold.
+Edge = tuple[str, str]
+Expr = Variable | LinExpr
 
 
 @dataclass
@@ -45,14 +50,14 @@ class SessionDemand:
     """One session as the optimizer sees it: its feasible path sets."""
 
     session: MulticastSession
-    path_sets: dict  # receiver -> list[Path]
+    path_sets: dict[str, list[Path]]  # receiver -> list[Path]
 
     @property
     def session_id(self) -> int:
         return self.session.session_id
 
-    def all_edges(self) -> set:
-        edges: set = set()
+    def all_edges(self) -> set[Edge]:
+        edges: set[Edge] = set()
         for paths in self.path_sets.values():
             for path in paths:
                 edges.update(path.edges)
@@ -71,7 +76,7 @@ class DataCenterSpec:
     outbound_mbps: float  # B_out(v): per-VNF outbound cap
     coding_mbps: float    # C(v): per-VNF coding capacity
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if min(self.inbound_mbps, self.outbound_mbps, self.coding_mbps) <= 0:
             raise ValueError(f"{self.name}: caps and capacity must be positive")
 
@@ -80,9 +85,9 @@ class DataCenterSpec:
 class DeploymentPlan:
     """Solved deployment: VNF counts, session rates, and routed flows."""
 
-    vnf_counts: dict = dataclass_field(default_factory=dict)       # dc name -> int
-    lambdas: dict = dataclass_field(default_factory=dict)          # session id -> Mbps
-    decompositions: dict = dataclass_field(default_factory=dict)   # session id -> FlowDecomposition
+    vnf_counts: dict[str, int] = dataclass_field(default_factory=dict)
+    lambdas: dict[int, float] = dataclass_field(default_factory=dict)  # session id -> Mbps
+    decompositions: dict[int, FlowDecomposition] = dataclass_field(default_factory=dict)
     objective: float = 0.0
     lp_objective: float = 0.0
     alpha: float = 0.0
@@ -98,7 +103,7 @@ class DeploymentPlan:
     def vnfs_at(self, datacenter: str) -> int:
         return self.vnf_counts.get(datacenter, 0)
 
-    def used_datacenters(self) -> list:
+    def used_datacenters(self) -> list[str]:
         return sorted(dc for dc, count in self.vnf_counts.items() if count > 0)
 
     def merged_with(self, other: "DeploymentPlan") -> "DeploymentPlan":
@@ -138,13 +143,13 @@ class DeploymentProblem:
     def __init__(
         self,
         graph: nx.DiGraph,
-        datacenters: list,
+        datacenters: list[DataCenterSpec],
         alpha: float = 20.0,
         source_outbound_mbps: float = 1000.0,
         receiver_inbound_mbps: float = 1000.0,
-        endpoint_caps: dict | None = None,
+        endpoint_caps: dict[str, float] | None = None,
         max_vnfs_per_dc: int = 64,
-    ):
+    ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
         self.graph = graph
@@ -180,10 +185,10 @@ class DeploymentProblem:
 
     def solve(
         self,
-        demands: list,
-        frozen: list | None = None,
-        baseline_vnfs: dict | None = None,
-        fixed_vnfs: dict | None = None,
+        demands: list[SessionDemand],
+        frozen: list[DeploymentPlan] | None = None,
+        baseline_vnfs: dict[str, int] | None = None,
+        fixed_vnfs: dict[str, int] | None = None,
         backend: str = "highs",
     ) -> DeploymentPlan:
         """Solve (2) for ``demands``; ``frozen`` plans stay untouched.
@@ -204,10 +209,10 @@ class DeploymentProblem:
         frozen_link_load = self._frozen_link_load(frozen)
 
         lp = LinearProgram()
-        lam_vars = {}
-        x_vars = {}
-        path_vars: dict = {}   # (sid, receiver, path) -> var
-        link_vars: dict = {}   # (sid, edge) -> var
+        lam_vars: dict[int, Variable] = {}
+        x_vars: dict[str, Variable] = {}
+        path_vars: dict[tuple[int, str, Path], Variable] = {}
+        link_vars: dict[tuple[int, Edge], Variable] = {}
 
         for dc in self.datacenters.values():
             if fixed_vnfs is not None:
@@ -239,10 +244,11 @@ class DeploymentProblem:
                 continue
             target = lam_vars.get(sid)
             for receiver, paths in demand.path_sets.items():
-                total = sum((path_vars[(sid, receiver, p)] for p in paths), start=0.0 * x_vars[next(iter(x_vars))])
+                total = self._sum([path_vars[(sid, receiver, p)] for p in paths])
                 if target is not None:
                     lp.add_constraint(target - total <= 0.0, name=f"2a[{sid},{receiver}]")
                 else:
+                    assert session.fixed_rate_mbps is not None  # else λ would be a variable
                     lp.add_constraint(total >= session.fixed_rate_mbps, name=f"2a-fixed[{sid},{receiver}]")
 
         # (2b) Σ_{p ∋ e} f^k_m(p) ≤ f_m(e).
@@ -251,27 +257,22 @@ class DeploymentProblem:
             if not demand.has_feasible_paths():
                 continue
             for receiver, paths in demand.path_sets.items():
-                on_edge: dict = {}
+                on_edge: dict[Edge, list[Variable]] = {}
                 for path in paths:
                     for edge in path.edges:
                         on_edge.setdefault(edge, []).append(path_vars[(sid, receiver, path)])
                 for edge, pvars in on_edge.items():
-                    expr = pvars[0]
-                    for extra in pvars[1:]:
-                        expr = expr + extra
+                    expr = self._sum(pvars)
                     lp.add_constraint(expr - link_vars[(sid, edge)] <= 0.0, name=f"2b[{sid},{receiver},{edge}]")
 
         # Link capacity: Σ_m f_m(e) ≤ capacity(e) (implied by the paper's
         # bandwidth-bounded links; required for a meaningful flow model).
-        per_edge_vars: dict = {}
+        per_edge_vars: dict[Edge, list[Variable]] = {}
         for (sid, edge), var in link_vars.items():
             per_edge_vars.setdefault(edge, []).append(var)
         for edge, evars in per_edge_vars.items():
             cap = float(self.graph.edges[edge]["capacity_mbps"]) - frozen_link_load.get(edge, 0.0)
-            expr = evars[0]
-            for extra in evars[1:]:
-                expr = expr + extra
-            lp.add_constraint(expr <= max(0.0, cap), name=f"cap[{edge}]")
+            lp.add_constraint(self._sum(evars) <= max(0.0, cap), name=f"cap[{edge}]")
 
         # (2c)/(2d)/(2e): per-data-center aggregate in/out/coding bounded by
         # x_v VNFs (baseline VNFs already count — they are real capacity).
@@ -312,10 +313,10 @@ class DeploymentProblem:
         # A tiny per-Mbps-per-link penalty breaks ties toward bandwidth-
         # efficient routings (and keeps fixed-rate sessions from routing
         # surplus flow, since their λ carries no objective weight).
-        objective = 0.0 * x_vars[next(iter(x_vars))]
+        objective: Expr = 0.0 * x_vars[next(iter(x_vars))]
         for lam in lam_vars.values():
             objective = objective + lam
-        extra_vars = {}
+        extra_vars: dict[str, Variable] = {}
         for name, x in x_vars.items():
             base = baseline.get(name, 0)
             extra = lp.add_variable(f"extra[{name}]")
@@ -364,22 +365,22 @@ class DeploymentProblem:
     # -- helpers ------------------------------------------------------------
 
     @staticmethod
-    def _sum(variables: list):
-        expr = variables[0]
+    def _sum(variables: Sequence[Expr]) -> Expr:
+        expr: Expr = variables[0]
         for var in variables[1:]:
             expr = expr + var
         return expr
 
     @staticmethod
-    def _frozen_link_load(frozen: list) -> dict:
-        load: dict = {}
+    def _frozen_link_load(frozen: list[DeploymentPlan]) -> dict[Edge, float]:
+        load: dict[Edge, float] = {}
         for plan in frozen:
             for decomposition in plan.decompositions.values():
                 for edge, rate in decomposition.link_rates().items():
                     load[edge] = load.get(edge, 0.0) + rate
         return load
 
-    def _set_minimal_vnf_counts(self, plan: DeploymentPlan, frozen_link_load: dict) -> None:
+    def _set_minimal_vnf_counts(self, plan: DeploymentPlan, frozen_link_load: dict[Edge, float]) -> None:
         """Replace rounded x_v by the exact minimum each data center needs.
 
         LP rounding can leave x_v = 1 at a data center the LP touched at
@@ -390,7 +391,7 @@ class DeploymentProblem:
         makes :meth:`DeploymentPlan.merged_with` (which takes per-DC
         maxima) produce the correct global count.
         """
-        load: dict = dict(frozen_link_load)
+        load: dict[Edge, float] = dict(frozen_link_load)
         for decomposition in plan.decompositions.values():
             for edge, rate in decomposition.link_rates().items():
                 load[edge] = load.get(edge, 0.0) + rate

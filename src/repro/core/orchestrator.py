@@ -30,7 +30,15 @@ from repro.core.daemon import VnfDaemon
 from repro.core.deployment import DataCenterSpec, DeploymentPlan, DeploymentProblem
 from repro.core.forwarding import ForwardingTable
 from repro.core.session import CodingConfig, MulticastSession
-from repro.core.signals import NcForwardTab, NcSettings, NcStart, Signal, SignalBus, SignalRecord
+from repro.core.signals import (
+    NcForwardTab,
+    NcSettings,
+    NcStart,
+    Signal,
+    SignalBus,
+    SignalPort,
+    SignalRecord,
+)
 from repro.core.vnf import CodingVnf
 from repro.net.events import EventScheduler
 
@@ -191,7 +199,7 @@ class _ClusterDaemon:
 class _FanBus:
     """Bus facade for cluster members: registration handled by the cluster."""
 
-    def __init__(self, bus: SignalBus) -> None:
+    def __init__(self, bus: SignalPort) -> None:
         self._bus = bus
 
     def register(self, name: str, handler: Callable[[Signal], None]) -> None:

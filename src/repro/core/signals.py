@@ -38,11 +38,21 @@ delivery is at-least-once and out-of-order.  Two fields make that safe:
   config older than the newest it has applied, so a pre-failure table
   delayed across a healing replan cannot clobber the recovery state.
 
+Fencing (DESIGN.md §14): with sharded controllers a *deposed* primary
+is a third staleness source — its epochs kept counting while it was
+partitioned, so an epoch comparison alone cannot tell its configs from
+the live primary's.  Config signals therefore also carry a ``fence``:
+the shard lease generation, bumped on every takeover.  Receivers order
+configs by ``(fence, epoch)`` lexicographically
+(:class:`ConfigEpochGate`), so anything a zombie primary pushes under
+an old lease loses to the first config of the new one, regardless of
+how far its private epoch counter ran ahead.
+
 ``signal_id`` is excluded from equality/repr so signal values compare
-by content and experiment fingerprints stay stable; ``epoch`` defaults
-to 0, which pre-epoch senders (tests, ad-hoc pushes) can keep using —
-an epoch-0 signal is never *older* than an applied epoch-0 config, it
-ties, and ties are accepted.
+by content and experiment fingerprints stay stable; ``epoch`` and
+``fence`` default to 0, which pre-epoch senders (tests, ad-hoc pushes)
+can keep using — an epoch-0 signal is never *older* than an applied
+epoch-0 config, it ties, and ties are accepted.
 """
 
 from __future__ import annotations
@@ -104,10 +114,14 @@ class NcForwardTab(Signal):
 
     ``epoch`` is the controller's config epoch at send time; daemons
     reject tables older than the newest config they have applied.
+    ``fence`` is the sender's shard-lease generation — a table from a
+    deposed primary carries a stale fence and loses to any config of
+    the successor, whatever its epoch says.
     """
 
     table_text: str = ""
     epoch: int = 0
+    fence: int = 0
 
 
 @dataclass(frozen=True)
@@ -125,6 +139,7 @@ class NcSettings(Signal):
     block_bytes: int = 0
     shapes: tuple[tuple[int, str, int], ...] = ()
     epoch: int = 0  # controller config epoch; stale settings are rejected
+    fence: int = 0  # shard-lease generation; deposed-primary settings are rejected
 
 
 @dataclass(frozen=True)
@@ -133,6 +148,50 @@ class NcHeartbeat(Signal):
 
     vnf_name: str = ""
     beat: int = 0
+
+
+@dataclass(frozen=True)
+class NcShardLease(Signal):  # repro-lint: disable=RL004 — dispatched in repro.shard.plane, not by daemons
+    """Controller ↔ controller: a shard lease changed hands.
+
+    Emitted by the replica that wins a takeover, addressed to every
+    peer shard's controller endpoint (over the cross-shard channel) so
+    the rest of the control plane learns which replica now speaks for
+    ``shard_id`` — and at which fence, letting peers discard anything
+    the deposed primary still says under an older one.
+    """
+
+    shard_id: str = ""
+    holder: str = ""
+    fence: int = 0
+
+
+class ConfigEpochGate:
+    """Tracks the newest ``(fence, epoch)`` applied; rejects older configs.
+
+    The shared staleness defense of every config consumer (VNF daemons,
+    shard config stores): configuration is ordered lexicographically by
+    ``(fence, epoch)`` — the lease generation first, the sender's own
+    monotonic epoch second.  Equal pairs are accepted (one push fans a
+    table and its settings out under one epoch), strictly older pairs
+    are counted in ``stale_rejected`` and refused.
+    """
+
+    __slots__ = ("fence", "epoch", "stale_rejected")
+
+    def __init__(self) -> None:
+        self.fence = 0
+        self.epoch = 0
+        self.stale_rejected = 0
+
+    def accepts(self, fence: int, epoch: int) -> bool:
+        """Apply-or-reject one config signal's ``(fence, epoch)`` stamp."""
+        if (fence, epoch) < (self.fence, self.epoch):
+            self.stale_rejected += 1
+            return False
+        self.fence = fence
+        self.epoch = epoch
+        return True
 
 
 #: SignalRecord.status values.

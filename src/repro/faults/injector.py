@@ -19,7 +19,7 @@ thing the simulation has to pulling a machine's power cord.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.net.events import EventScheduler
@@ -56,6 +56,18 @@ def link_key(src: str, dst: str) -> str:
     return f"{src}->{dst}"
 
 
+class ControllerTarget(Protocol):
+    """What CONTROLLER_CRASH / CONTROLLER_RESTORE need from a replica.
+
+    Satisfied by :class:`repro.shard.controller.ControllerReplica`; any
+    object with the same crash/restore surface can be registered.
+    """
+
+    def crash(self) -> None: ...
+
+    def restore(self) -> None: ...
+
+
 class _SignalRule:
     """One-shot drop/delay rule applied to the next matching delivery."""
 
@@ -76,6 +88,7 @@ class FaultInjector:
         self._vms: dict[str, "VirtualMachine"] = {}
         self._links: dict[str, "Link"] = {}
         self._daemons: dict[str, "VnfDaemon"] = {}
+        self._controllers: dict[str, ControllerTarget] = {}
         self._node_links: dict[str, list[str]] = {}
         self._bus: "SignalBus | None" = None
         self._rules: list[_SignalRule] = []
@@ -95,6 +108,10 @@ class FaultInjector:
 
     def add_daemon(self, name: str, daemon: "VnfDaemon") -> None:
         self._daemons[name] = daemon
+
+    def add_controller(self, name: str, controller: ControllerTarget) -> None:
+        """Register a controller replica under its replica handle."""
+        self._controllers[name] = controller
 
     def add_topology(self, topology: "Topology") -> None:
         """Register every link of a topology under ``src->dst`` handles."""
@@ -141,6 +158,9 @@ class FaultInjector:
         if kind in (FaultKind.DAEMON_KILL, FaultKind.DAEMON_RESTART):
             if target not in self._daemons:
                 raise FaultTargetError(f"no daemon registered as {target!r}")
+        if kind in (FaultKind.CONTROLLER_CRASH, FaultKind.CONTROLLER_RESTORE):
+            if target not in self._controllers:
+                raise FaultTargetError(f"no controller registered as {target!r}")
         if kind in (FaultKind.SIGNAL_DROP, FaultKind.SIGNAL_DELAY) and self._bus is None:
             raise FaultTargetError(f"signal fault on {target!r} but no bus attached (set_bus)")
         if kind is FaultKind.NODE_CRASH:
@@ -174,6 +194,10 @@ class FaultInjector:
             self._daemons[target].kill()
         elif kind is FaultKind.DAEMON_RESTART:
             self._daemons[target].restart()
+        elif kind is FaultKind.CONTROLLER_CRASH:
+            self._controllers[target].crash()
+        elif kind is FaultKind.CONTROLLER_RESTORE:
+            self._controllers[target].restore()
         elif kind is FaultKind.SIGNAL_DROP:
             self._rules.append(_SignalRule(target, "drop"))
         elif kind is FaultKind.SIGNAL_DELAY:

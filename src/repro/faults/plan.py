@@ -31,6 +31,8 @@ class FaultKind(enum.Enum):
     SIGNAL_DROP = "signal-drop"
     SIGNAL_DELAY = "signal-delay"
     NODE_CRASH = "node-crash"
+    CONTROLLER_CRASH = "controller-crash"      # kill a controller replica
+    CONTROLLER_RESTORE = "controller-restore"  # rejoin it (as warm standby)
 
 
 @dataclass(frozen=True)
@@ -109,20 +111,29 @@ class FaultPlan:
         max_faults: int = 4,
         max_outage_s: float = 0.5,
         impairments: bool = False,
+        controllers: Sequence[str] = (),
     ) -> "FaultPlan":
         """Draw a seeded random plan over the given target pools.
 
         Disruptive-but-survivable by construction: every LINK_DOWN is
         paired with a later LINK_UP, every DAEMON_KILL with a later
-        DAEMON_RESTART, and every dirty-wire impairment with a later
-        LINK_CLEAR, so a random plan never leaves the topology
-        permanently partitioned or permanently dirty.  Same seed, same
-        pools → same plan.
+        DAEMON_RESTART, every dirty-wire impairment with a later
+        LINK_CLEAR, and every CONTROLLER_CRASH with a later
+        CONTROLLER_RESTORE, so a random plan never leaves the topology
+        permanently partitioned, permanently dirty, or a shard
+        permanently replica-less.  Same seed, same pools → same plan.
 
         ``impairments`` is opt-in: enabling it extends the fault menu
         with LINK_CORRUPT / LINK_DUPLICATE / LINK_BLACKHOLE, which
         changes the draw sequence — plans generated with it off are
         bit-identical to plans from before impairments existed.
+        ``controllers`` (replica handles registered with
+        ``FaultInjector.add_controller``) is opt-in the same way:
+        leaving it empty keeps the draw sequence of pre-shard plans.
+        Controller outages draw from a wider window than link flaps —
+        failover detection takes several heartbeat intervals, and a
+        restore racing the takeover is exactly the zombie scenario the
+        fence defense exists for.
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
@@ -140,6 +151,8 @@ class FaultPlan:
             menu.append(FaultKind.DAEMON_KILL)
         if signal_kinds:
             menu += [FaultKind.SIGNAL_DROP, FaultKind.SIGNAL_DELAY]
+        if controllers:
+            menu.append(FaultKind.CONTROLLER_CRASH)
         if not menu:
             raise ValueError("no target pools given; nothing to break")
         events: list[FaultEvent] = []
@@ -181,4 +194,9 @@ class FaultPlan:
                 sk = signal_kinds[int(rng.integers(0, len(signal_kinds)))]
                 delay = float(rng.uniform(0.05, max_outage_s))
                 events.append(FaultEvent(at, kind, sk, param=delay))
+            elif kind is FaultKind.CONTROLLER_CRASH:
+                replica = controllers[int(rng.integers(0, len(controllers)))]
+                outage = float(rng.uniform(1.0, max(2.0, 4.0 * max_outage_s)))
+                events.append(FaultEvent(at, kind, replica))
+                events.append(FaultEvent(at + outage, FaultKind.CONTROLLER_RESTORE, replica))
         return cls(events)

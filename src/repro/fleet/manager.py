@@ -29,7 +29,7 @@ import networkx as nx
 
 from repro.core.deployment import DataCenterSpec, DeploymentPlan, DeploymentProblem, SessionDemand
 from repro.core.session import MulticastSession
-from repro.core.signals import NcForwardTab, NcSettings, NcStart, NcVnfEnd, NcVnfStart, SignalBus
+from repro.core.signals import NcForwardTab, NcSettings, NcStart, NcVnfEnd, NcVnfStart, SignalPort
 from repro.fleet.capacity import Edge, FleetDataCenter, FleetPlan, SurplusIndex
 from repro.fleet.churn import SessionSpec
 from repro.fleet.planner import SessionLP
@@ -60,7 +60,7 @@ class FleetManager:
         source_out_mbps: float = 1_000.0,
         receiver_in_mbps: float = 1_000.0,
         mode: str = INCREMENTAL,
-        bus: SignalBus | None = None,
+        bus: SignalPort | None = None,
         latency_ms: Mapping[str, Mapping[str, float]] | None = None,
     ) -> None:
         if mode not in (INCREMENTAL, COLD):
@@ -103,6 +103,11 @@ class FleetManager:
         self._lps: dict[int, SessionLP] = {}
         self._basis_cache: dict[str, tuple[int, ...]] = {}
         self.config_epoch = 0
+        # Shard-lease fence stamped onto config pushes (DESIGN.md §14).
+        # 0 for an unsharded fleet; a shard takeover installs the new
+        # lease generation via adopt_state so the successor's very first
+        # push dominates anything the deposed primary still sends.
+        self.config_fence = 0
         self.lp_solves = 0
         self.warm_hits = 0
         self.verdicts: list[AdmissionVerdict] = []
@@ -232,7 +237,7 @@ class FleetManager:
         old = self.plans.get(session_id)
         if spec is None or old is None:
             raise KeyError(f"session {session_id} is not admitted")
-        lp = self._lps[session_id]
+        lp = self._lp_for(session_id)
         old_dcs = old.datacenters(self._dc_name_set)
         if self.mode == COLD:
             remaining = [p for sid, p in self.plans.items() if sid != session_id]
@@ -276,7 +281,62 @@ class FleetManager:
             )
         )
 
+    # -- warm-standby adoption ---------------------------------------------
+
+    def adopt_state(
+        self,
+        sessions: Mapping[int, SessionSpec],
+        plans: Mapping[int, FleetPlan],
+        *,
+        config_epoch: int = 0,
+        fence: int = 0,
+    ) -> None:
+        """Install replicated session state into a fresh manager.
+
+        A shard standby that wins the takeover lease materializes its
+        manager from the replication log: the admitted specs and their
+        immutable plans.  The surplus index is rebuilt from the plans
+        (the exact state the deposed primary's incremental bookkeeping
+        tracked), the config epoch resumes at the replicated high-water
+        mark, and ``fence`` becomes the new lease generation — so the
+        first post-takeover push outranks every deposed-primary config.
+        Per-session LPs are *not* replicated; :meth:`_lp_for` rebuilds
+        them lazily on the first replan that needs one.
+        """
+        if self.sessions or self.plans:
+            raise ValueError("adopt_state requires a freshly constructed manager")
+        self.sessions = dict(sessions)
+        self.plans = dict(plans)
+        self.index.rebuild(self.plans.values())
+        self.config_epoch = max(self.config_epoch, config_epoch)
+        self.config_fence = fence
+
     # -- internals ---------------------------------------------------------
+
+    def _lp_for(self, session_id: int) -> SessionLP:
+        """The session's delta LP, rebuilt from its spec if not cached.
+
+        An adopted session has no LP object (solver state is process
+        state and died with the deposed primary); rebuilding it from the
+        spec is pure — same paths, same constraints — so replans after a
+        takeover are bit-identical to replans before it.
+        """
+        lp = self._lps.get(session_id)
+        if lp is None:
+            spec = self.sessions[session_id]
+            lp = SessionLP(
+                spec,
+                self._candidate_paths(spec),
+                self.shared_edges,
+                self._dc_name_set,
+                access_mbps=self.access_mbps,
+                source_out_mbps=self.source_out_mbps,
+                receiver_in_mbps=self.receiver_in_mbps,
+                alpha=self.alpha,
+            )
+            lp.bind(self.index)
+            self._lps[session_id] = lp
+        return lp
 
     def _solve(self, lp: SessionLP) -> tuple[SimplexResult, FleetPlan | None]:
         basis = self._basis_cache.get(lp.signature) if self.mode == INCREMENTAL else None
@@ -340,6 +400,7 @@ class FleetManager:
                     session_ids=(plan.session_id,),
                     roles=((plan.session_id, "coder"),),
                     epoch=self.config_epoch,
+                    fence=self.config_fence,
                 )
             )
             bus.send(
@@ -347,9 +408,48 @@ class FleetManager:
                     target=dc,
                     table_text=self.forwarding_table(dc),
                     epoch=self.config_epoch,
+                    fence=self.config_fence,
                 )
             )
         bus.send(NcStart(target=spec.source_host(), session_id=plan.session_id))
+
+    def republish_config(self) -> int:
+        """Re-push every touched PoP's settings + table at the current stamp.
+
+        The takeover fan-out: a shard's new primary bumps the epoch
+        under its fresh fence and broadcasts the authoritative state
+        once, so every daemon converges on the successor's view no
+        matter what the deposed primary managed to deliver first.
+        Returns the number of PoPs refreshed.
+        """
+        bus = self.bus
+        if bus is None:
+            return 0
+        self.config_epoch += 1
+        touched_by_dc: dict[str, list[int]] = {}
+        for sid in sorted(self.plans):
+            for dc in self.plans[sid].datacenters(self._dc_name_set):
+                touched_by_dc.setdefault(dc, []).append(sid)
+        for dc in sorted(touched_by_dc):
+            session_ids = tuple(touched_by_dc[dc])
+            bus.send(
+                NcSettings(
+                    target=dc,
+                    session_ids=session_ids,
+                    roles=tuple((sid, "coder") for sid in session_ids),
+                    epoch=self.config_epoch,
+                    fence=self.config_fence,
+                )
+            )
+            bus.send(
+                NcForwardTab(
+                    target=dc,
+                    table_text=self.forwarding_table(dc),
+                    epoch=self.config_epoch,
+                    fence=self.config_fence,
+                )
+            )
+        return len(touched_by_dc)
 
     def _record(self, verdict: AdmissionVerdict) -> AdmissionVerdict:
         self.verdicts.append(verdict)

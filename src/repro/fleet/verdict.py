@@ -22,6 +22,9 @@ class AdmissionStatus(Enum):
     REJECTED_INFEASIBLE = "rejected-infeasible"
     #: Routes exist but residual capacity cannot carry the full rate.
     REJECTED_CAPACITY = "rejected-capacity"
+    #: The home shard had no live primary for the whole retry budget —
+    #: a typed answer, not a hang (DESIGN.md §14 graceful degradation).
+    REJECTED_UNAVAILABLE = "rejected-unavailable"
 
 
 @dataclass(frozen=True)

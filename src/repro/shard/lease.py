@@ -1,0 +1,68 @@
+"""The shard lease: who speaks for a shard, at which fence.
+
+A shard has exactly one lease.  The holder is the replica allowed to
+admit sessions and push config; the ``fence`` is the lease generation,
+bumped on every transfer.  Config signals carry the fence (DESIGN.md
+§14), so a deposed primary — alive again after a crash, or partitioned
+and never dead at all — keeps stamping an old fence and every daemon
+rejects it by ``(fence, epoch)`` order, however far its private epoch
+counter ran ahead.
+
+Transfers are *deterministic*: there is no quorum or randomized
+election in the simulation — the shard's standby list is an ordered
+succession line, and the failure detector's scheduler-driven check
+fires at a deterministic instant, so the same seed always produces the
+same takeover at the same fence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LeaseTransfer:
+    """One recorded succession: the audit trail of a takeover."""
+
+    at_s: float
+    fence: int
+    holder: str
+    deposed: str
+
+
+class ShardLease:
+    """Monotonically fenced ownership token for one shard."""
+
+    def __init__(self, shard_id: str, holder: str, fence: int = 1) -> None:
+        if not shard_id or not holder:
+            raise ValueError("shard_id and holder cannot be empty")
+        if fence < 1:
+            raise ValueError("fence starts at 1 (0 is the unsharded stamp)")
+        self.shard_id = shard_id
+        self.holder = holder
+        self.fence = fence
+        self.transfers: list[LeaseTransfer] = []
+
+    def held_by(self, name: str) -> bool:
+        return self.holder == name
+
+    def transfer(self, new_holder: str, at_s: float) -> int:
+        """Hand the lease to ``new_holder``; returns the bumped fence.
+
+        The deposed holder keeps believing it owns the old fence —
+        that's the point: nothing revokes its in-memory state, the
+        fence comparison at every receiver is what deposes it.
+        """
+        if not new_holder:
+            raise ValueError("new holder cannot be empty")
+        if new_holder == self.holder:
+            raise ValueError(f"{new_holder!r} already holds the lease")
+        self.transfers.append(
+            LeaseTransfer(at_s=at_s, fence=self.fence + 1, holder=new_holder, deposed=self.holder)
+        )
+        self.holder = new_holder
+        self.fence += 1
+        return self.fence
+
+    def __repr__(self) -> str:
+        return f"ShardLease({self.shard_id}: {self.holder}@f{self.fence})"

@@ -1,0 +1,119 @@
+"""Controller placement: k shards over the OS3E WAN by closeness.
+
+SNIPPETS.md's controller-placement study frames the problem on a
+weighted graph whose edge weights are propagation latencies: a node's
+expected latency to the rest of the network is the reciprocal of its
+weighted closeness centrality, and placing k controllers is the
+k-median problem over that metric.  k-median is NP-hard; the standard
+greedy (pick the single best site, then repeatedly add the site that
+most reduces the total assignment latency) is the classic
+(1 - 1/e)-style approximation and — crucially for this codebase —
+deterministic: ties break on the city name, so the same k always
+yields the same placement and every soak fingerprint stays stable.
+
+The output is a :class:`ShardMap`: the chosen controller cities plus
+the assignment of *every* PoP city to its nearest controller, which is
+the region a session (homed by its source city) belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.net.topology import os3e_latency_ms
+
+Latency = Mapping[str, Mapping[str, float]]
+
+
+def total_assignment_ms(controllers: Sequence[str], latency: Latency) -> float:
+    """Σ over cities of the latency to the nearest chosen controller."""
+    if not controllers:
+        raise ValueError("at least one controller is required")
+    return sum(min(latency[city][c] for c in controllers) for city in latency)
+
+
+def place_controllers(
+    k: int,
+    *,
+    latency: Latency | None = None,
+    candidates: Sequence[str] | None = None,
+) -> tuple[str, ...]:
+    """Greedy k-median controller placement over the WAN latency map.
+
+    The first pick is the city with minimum total latency to all
+    cities — the maximum-closeness node, i.e. the optimal k=1 placement.
+    Each further pick greedily maximizes the reduction in total
+    assignment latency.  All ties break lexicographically on the city
+    name so the placement is a pure function of (k, latency map).
+    """
+    lat = latency if latency is not None else os3e_latency_ms()
+    pool = sorted(candidates) if candidates is not None else sorted(lat)
+    unknown = [c for c in pool if c not in lat]
+    if unknown:
+        raise ValueError(f"candidate cities absent from the latency map: {unknown}")
+    if not 1 <= k <= len(pool):
+        raise ValueError(f"k must be in [1, {len(pool)}], got {k}")
+    chosen: list[str] = []
+    # nearest[city] = latency to the closest already-chosen controller.
+    nearest: dict[str, float] = {}
+    for _ in range(k):
+        best_city: str | None = None
+        best_total = float("inf")
+        for cand in pool:
+            if cand in chosen:
+                continue
+            total = sum(min(nearest.get(city, float("inf")), lat[city][cand]) for city in lat)
+            if total < best_total - 1e-12:
+                best_total = total
+                best_city = cand
+        assert best_city is not None  # pool is larger than chosen
+        chosen.append(best_city)
+        for city in lat:
+            d = lat[city][best_city]
+            if d < nearest.get(city, float("inf")):
+                nearest[city] = d
+    return tuple(chosen)
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """k controller cities plus every city's region assignment."""
+
+    controllers: tuple[str, ...]
+    assignment: Mapping[str, str]  # city -> controller city
+
+    @classmethod
+    def build(
+        cls,
+        k: int,
+        *,
+        latency: Latency | None = None,
+        candidates: Sequence[str] | None = None,
+    ) -> "ShardMap":
+        """Place k controllers and assign every city to its nearest one.
+
+        Assignment ties (equidistant controllers) break on the
+        controller city name, keeping the map deterministic.
+        """
+        lat = latency if latency is not None else os3e_latency_ms()
+        controllers = place_controllers(k, latency=lat, candidates=candidates)
+        assignment = {
+            city: min(controllers, key=lambda c: (lat[city][c], c)) for city in sorted(lat)
+        }
+        return cls(controllers=controllers, assignment=assignment)
+
+    def region_of(self, city: str) -> str:
+        """The controller city owning ``city``'s region."""
+        try:
+            return self.assignment[city]
+        except KeyError:
+            raise KeyError(f"unknown city {city!r}") from None
+
+    def cities_of(self, controller: str) -> tuple[str, ...]:
+        """All cities assigned to one controller, sorted."""
+        if controller not in self.controllers:
+            raise KeyError(f"{controller!r} is not a placed controller")
+        return tuple(
+            sorted(city for city, home in self.assignment.items() if home == controller)
+        )

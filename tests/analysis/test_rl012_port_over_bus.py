@@ -1,0 +1,186 @@
+"""RL012 fixtures: concrete SignalBus where SignalPort suffices."""
+
+from repro.analysis import analyze_paths
+from tests.analysis.helpers import active_ids, lint
+
+
+class TestFunctions:
+    def test_port_only_param_flagged(self):
+        findings = lint(
+            """
+            def announce(bus: SignalBus, signal):
+                bus.send(signal)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == ["RL012"]
+        assert "SignalPort" in findings[0].message
+
+    def test_optional_port_only_param_flagged(self):
+        findings = lint(
+            """
+            def announce(bus: SignalBus | None, signal):
+                if bus is not None:
+                    bus.send(signal)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == ["RL012"]
+
+    def test_concrete_attribute_use_exempt(self):
+        findings = lint(
+            """
+            def probe(bus: SignalBus):
+                bus.send(None)
+                return bus.latency_s  # concrete-only surface
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+    def test_is_registered_use_exempt(self):
+        findings = lint(
+            """
+            def check(bus: SignalBus, name: str) -> bool:
+                return bus.is_registered(name)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+    def test_escaping_reference_exempt(self):
+        # Passing the bus on whole: this scope cannot prove the callee
+        # needs only the port, so the rule stays silent.
+        findings = lint(
+            """
+            def wire(bus: SignalBus, daemon):
+                daemon.attach(bus)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+    def test_constructing_scope_exempt(self):
+        findings = lint(
+            """
+            def rebuild(bus: SignalBus):
+                bus.send(None)
+                return SignalBus(bus.scheduler)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+    def test_unannotated_param_ignored(self):
+        findings = lint(
+            """
+            def announce(bus, signal):
+                bus.send(signal)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+
+class TestClasses:
+    def test_init_mirror_with_port_only_methods_flagged(self):
+        findings = lint(
+            """
+            class Publisher:
+                def __init__(self, bus: SignalBus) -> None:
+                    self.bus = bus
+
+                def publish(self, signal):
+                    self.bus.register("x", self.publish)
+                    self.bus.send(signal)
+
+                def retire(self):
+                    self.bus.unregister("x")
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == ["RL012"]
+        assert "Publisher.__init__" in findings[0].message
+
+    def test_class_touching_concrete_surface_exempt(self):
+        findings = lint(
+            """
+            class Prober:
+                def __init__(self, bus: SignalBus) -> None:
+                    self.bus = bus
+
+                def publish(self, signal):
+                    self.bus.send(signal)
+
+                def tail(self):
+                    return self.bus.log[-1]  # concrete-only surface
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+    def test_class_leaking_bus_exempt(self):
+        findings = lint(
+            """
+            class Wirer:
+                def __init__(self, bus: SignalBus) -> None:
+                    self.bus = bus
+
+                def wire(self, daemon):
+                    daemon.attach(self.bus)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+    def test_truthiness_and_none_checks_stay_port_only(self):
+        findings = lint(
+            """
+            class MaybePublisher:
+                def __init__(self, bus: SignalBus | None = None) -> None:
+                    self.bus = bus
+
+                def publish(self, signal):
+                    if self.bus is None:
+                        return
+                    self.bus.send(signal)
+
+                def live(self) -> bool:
+                    return self.bus is not None
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == ["RL012"]
+
+    def test_suppression_comment_respected(self):
+        findings = lint(
+            """
+            class Pinned:
+                def __init__(self, bus: SignalBus) -> None:  # repro-lint: disable=RL012
+                    self.bus = bus
+
+                def publish(self, signal):
+                    self.bus.send(signal)
+            """,
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+    def test_tests_are_out_of_scope(self):
+        findings = lint(
+            """
+            def announce(bus: SignalBus, signal):
+                bus.send(signal)
+            """,
+            path="tests/test_mod.py",
+            select=["RL012"],
+        )
+        assert active_ids(findings) == []
+
+
+class TestRealTree:
+    def test_full_src_tree_is_closed(self):
+        # FleetManager, _FanBus and the shard package all take the port;
+        # nothing in src/ holds a concrete bus it doesn't need.
+        result = analyze_paths(["src/repro"], select=["RL012"])
+        assert result.active == []

@@ -108,6 +108,73 @@ class TestStaleConfigDefense:
         assert daemon.stale_rejected == 0
 
 
+class TestFencedConfigDefense:
+    """Shard-era split-brain defense: configs order by (fence, epoch)."""
+
+    def _bring_up(self, bus, scheduler):
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),)))
+        scheduler.run()
+
+    def test_new_fence_dominates_any_old_epoch(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        self._bring_up(bus, scheduler)
+        bus.send(NcForwardTab(target="node1", table_text="1 old\n", epoch=50, fence=1))
+        scheduler.run()
+        # The takeover successor restarts low in epoch but carries the
+        # bumped fence — it must still win against epoch 50.
+        bus.send(NcForwardTab(target="node1", table_text="1 successor\n", epoch=1, fence=2))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == ["successor"]
+        assert daemon.config_fence == 2
+        assert daemon.stale_rejected == 0
+
+    def test_deposed_primary_table_rejected_whatever_its_epoch(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        self._bring_up(bus, scheduler)
+        bus.send(NcForwardTab(target="node1", table_text="1 successor\n", epoch=1, fence=2))
+        scheduler.run()
+        # The zombie kept counting: huge epoch, stale fence. Fenced out.
+        bus.send(NcForwardTab(target="node1", table_text="1 zombie\n", epoch=999, fence=1))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == ["successor"]
+        assert daemon.stale_rejected == 1
+        assert daemon.config_fence == 2
+
+    def test_same_fence_keeps_epoch_ordering(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        self._bring_up(bus, scheduler)
+        bus.send(NcForwardTab(target="node1", table_text="1 newer\n", epoch=4, fence=2))
+        scheduler.run()
+        bus.send(NcForwardTab(target="node1", table_text="1 older\n", epoch=3, fence=2))
+        scheduler.run()
+        assert vnf.forwarding_table.next_hops(1) == ["newer"]
+        assert daemon.stale_rejected == 1
+
+    def test_stale_fenced_settings_rejected(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),), epoch=2, fence=3))
+        scheduler.run()
+        bus.send(NcSettings(target="node1", roles=((1, "forwarder"),), epoch=9, fence=2))
+        scheduler.run()
+        assert vnf.roles[1] is VnfRole.RECODER
+        assert daemon.stale_rejected == 1
+
+    def test_restart_forgets_fence_with_epoch(self, daemon_setup, scheduler):
+        bus, vnf, daemon = daemon_setup
+        self._bring_up(bus, scheduler)
+        bus.send(NcForwardTab(target="node1", table_text="1 x\n", epoch=7, fence=4))
+        scheduler.run()
+        stale_before = daemon.stale_rejected
+        daemon.kill()
+        daemon.restart()
+        assert daemon.config_fence == 0
+        assert daemon.config_epoch == 0
+        assert daemon.stale_rejected == stale_before  # the tally survives
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"),), epoch=1, fence=1))
+        scheduler.run()
+        assert daemon.stale_rejected == stale_before
+
+
 class TestDuplicateDelivery:
     def test_redelivered_signal_is_dropped(self, daemon_setup, scheduler):
         bus, vnf, daemon = daemon_setup

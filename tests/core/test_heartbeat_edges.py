@@ -1,0 +1,85 @@
+"""HeartbeatMonitor edge cases: grace clocks, thresholds, validation."""
+
+import pytest
+
+from repro.core.controller import HeartbeatMonitor
+
+
+def test_unwatch_then_rewatch_resets_the_grace_clock(scheduler):
+    deaths = []
+    monitor = HeartbeatMonitor(scheduler, interval_s=1.0, miss_threshold=3, on_dead=deaths.append)
+    monitor.watch("x")  # grace starts at t=0, never beats
+    scheduler.schedule_at(2.5, monitor.unwatch, "x")
+    scheduler.schedule_at(2.5, monitor.watch, "x")  # re-adopted: clock restarts
+    scheduler.run(until=5.0)
+    # Without the reset, silence-since-0 crosses the 3 s deadline at the
+    # t=4 check; the re-watch moved the epoch to 2.5, so still alive.
+    assert deaths == []
+    assert "x" not in monitor.dead
+    scheduler.run(until=6.5)  # 2.5 + 3.0 deadline crossed at the t=6 check
+    assert deaths == ["x"]
+    assert monitor.dead["x"] == 6.0
+    monitor.stop()
+
+
+def test_rewatch_after_death_clears_the_verdict_and_rearms(scheduler):
+    deaths = []
+    monitor = HeartbeatMonitor(scheduler, interval_s=1.0, miss_threshold=2, on_dead=deaths.append)
+    monitor.watch("x")
+    scheduler.run(until=3.5)
+    assert deaths == ["x"]
+    monitor.watch("x")  # restarted daemon re-adopted
+    assert "x" not in monitor.dead
+    scheduler.schedule_every(1.0, monitor.beat, "x")
+    scheduler.run(until=10.0)
+    assert deaths == ["x"]  # no second verdict while it keeps beating
+    monitor.stop()
+
+
+def test_zero_and_negative_intervals_rejected(scheduler):
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(scheduler, interval_s=0.0)
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(scheduler, interval_s=-1.0)
+
+
+def test_miss_threshold_below_one_rejected(scheduler):
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(scheduler, interval_s=1.0, miss_threshold=0)
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(scheduler, interval_s=1.0, miss_threshold=-3)
+
+
+def test_exactly_n_missed_intervals_is_not_yet_dead(scheduler):
+    # deadline = N * interval; the check at exactly t = N*interval sees
+    # silence == deadline, which is NOT a miss — N full intervals must
+    # *elapse*, so the verdict lands on check N+1.
+    deaths = []
+    monitor = HeartbeatMonitor(scheduler, interval_s=1.0, miss_threshold=3, on_dead=deaths.append)
+    monitor.watch("x")
+    scheduler.run(until=3.0)  # checks at 1, 2, 3 — boundary inclusive
+    assert deaths == []
+    scheduler.run(until=4.0)
+    assert deaths == ["x"]
+    assert monitor.dead["x"] == 4.0
+    monitor.stop()
+
+
+def test_boundary_beat_restarts_the_count(scheduler):
+    deaths = []
+    monitor = HeartbeatMonitor(scheduler, interval_s=1.0, miss_threshold=3, on_dead=deaths.append)
+    monitor.watch("x")
+    scheduler.schedule_at(3.0, monitor.beat, "x")  # beat ON the deadline
+    scheduler.run(until=6.0)
+    assert deaths == []  # silence restarted at 3.0; 6.0 check is boundary
+    scheduler.run(until=7.0)
+    assert deaths == ["x"]
+    monitor.stop()
+
+
+def test_beat_for_unwatched_name_is_ignored(scheduler):
+    monitor = HeartbeatMonitor(scheduler, interval_s=1.0)
+    monitor.beat("ghost")  # never watched: must not create an entry
+    assert "ghost" not in monitor.last_heard
+    monitor.unwatch("ghost")  # and unwatching it is a no-op, not an error
+    monitor.stop()

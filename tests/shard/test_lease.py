@@ -1,0 +1,58 @@
+"""Shard lease: monotone fencing and the ConfigEpochGate order."""
+
+import pytest
+
+from repro.core.signals import ConfigEpochGate
+from repro.shard.lease import ShardLease
+
+
+def test_transfer_bumps_fence_and_records_succession():
+    lease = ShardLease("Chicago", holder="Chicago#r0")
+    assert lease.fence == 1 and lease.held_by("Chicago#r0")
+    fence = lease.transfer("Chicago#r1", at_s=2.5)
+    assert fence == 2
+    assert lease.held_by("Chicago#r1")
+    (transfer,) = lease.transfers
+    assert transfer.deposed == "Chicago#r0"
+    assert transfer.holder == "Chicago#r1"
+    assert transfer.at_s == 2.5
+    assert transfer.fence == 2
+
+
+def test_fence_is_strictly_monotone_over_many_transfers():
+    lease = ShardLease("s", holder="a")
+    holders = ["b", "a", "b", "a"]
+    fences = [lease.transfer(h, at_s=float(i)) for i, h in enumerate(holders)]
+    assert fences == [2, 3, 4, 5]
+
+
+def test_invalid_constructions_rejected():
+    with pytest.raises(ValueError):
+        ShardLease("", holder="a")
+    with pytest.raises(ValueError):
+        ShardLease("s", holder="")
+    with pytest.raises(ValueError):
+        ShardLease("s", holder="a", fence=0)
+    lease = ShardLease("s", holder="a")
+    with pytest.raises(ValueError):
+        lease.transfer("a", at_s=0.0)  # self-transfer would fake a bump
+    with pytest.raises(ValueError):
+        lease.transfer("", at_s=0.0)
+
+
+def test_gate_orders_by_fence_then_epoch():
+    gate = ConfigEpochGate()
+    assert gate.accepts(1, 5)  # first config
+    assert not gate.accepts(1, 4)  # older epoch, same fence
+    assert gate.accepts(1, 5)  # equal stamp ties are accepted
+    assert gate.accepts(2, 1)  # new fence dominates ANY old epoch
+    assert not gate.accepts(1, 999)  # zombie primary: huge epoch, old fence
+    assert gate.stale_rejected == 2
+
+
+def test_gate_pre_shard_zero_stamps_keep_working():
+    gate = ConfigEpochGate()
+    assert gate.accepts(0, 0)
+    assert gate.accepts(0, 1)
+    assert gate.accepts(0, 1)
+    assert not gate.accepts(0, 0)

@@ -1,0 +1,71 @@
+"""Controller placement: greedy k-median over the OS3E latency map."""
+
+import pytest
+
+from repro.net.topology import OS3E_SITES, os3e_latency_ms
+from repro.shard.placement import ShardMap, place_controllers, total_assignment_ms
+
+
+def test_k1_is_the_maximum_closeness_city():
+    lat = os3e_latency_ms()
+    (chosen,) = place_controllers(1, latency=lat)
+    best = min(sorted(lat), key=lambda c: sum(lat[city][c] for city in lat))
+    assert chosen == best
+
+
+def test_greedy_total_latency_monotone_in_k():
+    lat = os3e_latency_ms()
+    totals = [
+        total_assignment_ms(place_controllers(k, latency=lat), lat) for k in (1, 2, 3, 5, 8)
+    ]
+    assert totals == sorted(totals, reverse=True)
+    assert totals[-1] < totals[0]  # more controllers strictly help on OS3E
+
+
+def test_placement_is_deterministic():
+    assert place_controllers(4) == place_controllers(4)
+
+
+def test_candidates_restrict_the_pool():
+    pool = ("Seattle", "Denver", "New York")
+    chosen = place_controllers(2, candidates=pool)
+    assert set(chosen) <= set(pool)
+
+
+def test_invalid_k_and_unknown_candidates_rejected():
+    with pytest.raises(ValueError):
+        place_controllers(0)
+    with pytest.raises(ValueError):
+        place_controllers(len(OS3E_SITES) + 1)
+    with pytest.raises(ValueError):
+        place_controllers(1, candidates=("Atlantis",))
+
+
+def test_shard_map_assigns_every_city_to_nearest_controller():
+    lat = os3e_latency_ms()
+    shard_map = ShardMap.build(3, latency=lat)
+    assert set(shard_map.assignment) == set(lat)
+    for city, home in shard_map.assignment.items():
+        nearest = min(lat[city][c] for c in shard_map.controllers)
+        assert lat[city][home] == pytest.approx(nearest)
+    # A controller city is its own region (distance 0 beats everyone).
+    for controller in shard_map.controllers:
+        assert shard_map.region_of(controller) == controller
+
+
+def test_shard_map_regions_partition_the_cities():
+    shard_map = ShardMap.build(4)
+    seen: set[str] = set()
+    for controller in shard_map.controllers:
+        cities = shard_map.cities_of(controller)
+        assert not seen & set(cities)
+        seen.update(cities)
+    assert seen == set(shard_map.assignment)
+
+
+def test_shard_map_unknown_lookups_raise():
+    shard_map = ShardMap.build(2)
+    with pytest.raises(KeyError):
+        shard_map.region_of("Atlantis")
+    with pytest.raises(KeyError):
+        shard_map.cities_of("Atlantis")
