@@ -40,7 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.session import MulticastSession
+from repro.core.session import CodingConfig, MulticastSession
 from repro.core.vnf import NC_PORT
 from repro.net.events import EventScheduler
 from repro.net.node import Node
@@ -129,7 +129,9 @@ class NcSourceApp:
         self.sent_generations = 0
         self.sent_packets = 0
         self.repair_packets = 0
+        self.coding_retunes = 0
         self.first_generation_sent_at: float | None = None
+        self._pending_coding: tuple[CodingConfig, dict | None] | None = None
         self._running = False
         self._stalled = False
         self._receiver_cum_ack: dict[str, int] = {}
@@ -181,6 +183,32 @@ class NcSourceApp:
                 for hop, rate in link_shares.items()
             ]
 
+    def retune_coding(self, config: CodingConfig, link_shares: dict | None = None) -> None:
+        """Stage an adaptive coding retune (DESIGN.md §15).
+
+        The new generation size / redundancy — and, when given, the
+        matching rescaled link shares that express the redundancy on
+        the wire (shares totalling λ·(k+r)/k) — apply atomically at the
+        start of the *next* generation.  A generation in flight is
+        never reshaped: its packets were all scheduled in one
+        ``_emit_generation`` pass under the old config.  Staging twice
+        before a boundary keeps only the newest retune.
+        """
+        self._pending_coding = (config, link_shares)
+
+    def _apply_pending_coding(self) -> None:
+        if self._pending_coding is None:
+            return
+        config, link_shares = self._pending_coding
+        self._pending_coding = None
+        self.session.coding = config
+        self._gen_interval_s = config.generation_bytes * 8 / (self.data_rate_mbps * 1e6)
+        self._packet_payload_bytes = config.block_bytes + FIXED_HEADER_BYTES + config.blocks_per_generation
+        self._effective_block_bytes = 4 if self.payload_mode == "coefficients-only" else config.block_bytes
+        if link_shares is not None:
+            self.reconfigure(link_shares=link_shares)
+        self.coding_retunes += 1
+
     # -- flow control -----------------------------------------------------
 
     @property
@@ -225,6 +253,7 @@ class NcSourceApp:
         if not self._window_open():
             self._stalled = True  # resumed by the next ACK that opens the window
             return
+        self._apply_pending_coding()
         config = self.session.coding
         generation = _make_generation(
             self.sent_generations, config.blocks_per_generation, self._effective_block_bytes, self._rng
@@ -426,16 +455,21 @@ class NcReceiverApp:
         self._block_bytes = 4 if payload_mode == "coefficients-only" else config.block_bytes
         self._decoders: dict[int, Decoder] = {}
         self.completed: dict[int, float] = {}  # generation id -> completion time
+        # Decoded payload bytes per generation: goodput stays honest
+        # when the adaptive loop retunes the generation size mid-run
+        # (generations then differ in k, so counting them is not enough).
+        self.completed_bytes: dict[int, int] = {}
         self.retain_decoded = retain_decoded
         self.decoded_generations: dict[int, Generation] = {}  # only when retain_decoded
         self.received_packets = 0
         self.redundant_packets = 0
         self.corrupt_dropped = 0
         self.nacks_sent = 0
+        self.nacks_suppressed = 0
         self.highest_seen = -1
         self._last_packet_at = -1e9
         self._cum_ack = -1
-        self._nack_state: dict[int, tuple] = {}  # gen -> (count, last_sent_at)
+        self._nack_state: dict[int, tuple] = {}  # gen -> (count, last_sent_at, rank_at_last)
         self._ack_timer_running = False
         node.listen(NC_PORT, self._on_packet)
         if ack_to is not None:
@@ -474,6 +508,7 @@ class NcReceiverApp:
             self.redundant_packets += 1
         if decoder.complete:
             self.completed[gen_id] = self.node.scheduler.now
+            self.completed_bytes[gen_id] = decoder.block_count * self.session.coding.block_bytes
             if self.retain_decoded:
                 # Integrity assertions compare these bit-for-bit against
                 # the source's generations (tests only; throughput runs
@@ -554,12 +589,24 @@ class NcReceiverApp:
         now = self.node.scheduler.now
         k = self.session.coding.blocks_per_generation
         for gen_id in self._stalled_generations():
-            count, last = self._nack_state.get(gen_id, (0, -1e9))
+            count, last, rank_at_last = self._nack_state.get(gen_id, (0, -1e9, -1))
             if count >= self.max_nacks_per_generation:
                 continue
             if now - last < self.nack_retry_interval_s(count):
                 continue
             decoder = self._decoders.get(gen_id)
+            rank = decoder.rank if decoder is not None else 0
+            if count > 0 and rank > rank_at_last:
+                # Degrees of freedom arrived since the last NACK — a
+                # repair, or extra redundancy the adaptive controller
+                # raised mid-generation, is already covering this gap.
+                # Re-requesting now would double-repair packets the new
+                # redundancy covers; restart the backoff clock instead
+                # (without spending the NACK budget) and only retry if
+                # progress stalls again at this rank.
+                self.nacks_suppressed += 1
+                self._nack_state[gen_id] = (count, now, rank)
+                continue
             if decoder is not None:
                 missing_dof = decoder.block_count - decoder.rank
                 missing_indices = decoder.missing_pivots()
@@ -568,7 +615,7 @@ class NcReceiverApp:
                 missing_indices = tuple(range(k))
             self._send_control(("nack", self.session.session_id, gen_id, missing_dof, missing_indices))
             self.nacks_sent += 1
-            self._nack_state[gen_id] = (count + 1, now)
+            self._nack_state[gen_id] = (count + 1, now, rank)
 
     def _send_control(self, message: tuple) -> None:
         if self.ack_to is None:
@@ -594,24 +641,35 @@ class NcReceiverApp:
     # -- metrics ---------------------------------------------------------------
 
     def goodput_mbps(self, start_s: float = 0.0, end_s: float | None = None) -> float:
-        """Decoded-data rate over [start, end] (defaults to the whole run)."""
+        """Decoded-data rate over [start, end] (defaults to the whole run).
+
+        Byte-accurate: each generation contributes the bytes it
+        actually decoded, so mixed generation sizes (adaptive retunes)
+        are accounted correctly.
+        """
         end = end_s if end_s is not None else self.node.scheduler.now
         if end <= start_s:
             return 0.0
-        done = [t for t in self.completed.values() if start_s <= t <= end]
-        return len(done) * self.session.coding.generation_bytes * 8 / (end - start_s) / 1e6
+        default_bytes = self.session.coding.generation_bytes
+        done = sum(
+            self.completed_bytes.get(g, default_bytes)
+            for g, t in self.completed.items()
+            if start_s <= t <= end
+        )
+        return done * 8 / (end - start_s) / 1e6
 
     def throughput_series(self, window_s: float, duration_s: float) -> tuple:
         """(window centers, Mbps per window) over [0, duration]."""
         if window_s <= 0 or duration_s <= 0:
             raise ValueError("window and duration must be positive")
         edges = np.arange(0.0, duration_s + window_s, window_s)
-        counts = np.zeros(len(edges) - 1)
-        for t in self.completed.values():
+        window_bytes = np.zeros(len(edges) - 1)
+        default_bytes = self.session.coding.generation_bytes
+        for g, t in self.completed.items():
             index = int(t / window_s)
-            if index < len(counts):
-                counts[index] += 1
-        rates = counts * self.session.coding.generation_bytes * 8 / window_s / 1e6
+            if index < len(window_bytes):
+                window_bytes[index] += self.completed_bytes.get(g, default_bytes)
+        rates = window_bytes * 8 / window_s / 1e6
         centers = (edges[:-1] + edges[1:]) / 2
         return centers, rates
 

@@ -34,6 +34,7 @@ sends next, matching real supervisor-restart amnesia.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 from repro.core.forwarding import ForwardingTable
@@ -50,6 +51,7 @@ from repro.core.signals import (
 )
 from repro.core.vnf import CodingVnf, VnfRole
 from repro.net.events import PeriodicEvent
+from repro.rlnc.redundancy import RedundancyPolicy
 
 VNF_START_LATENCY_S = 0.37621  # measured average in §V-C5
 
@@ -88,6 +90,7 @@ class VnfDaemon:
         self.restarts = 0
         self.pending_table: ForwardingTable | None = None
         self.applied_tables = 0
+        self.retunes_staged = 0
         self.total_pause_s = 0.0
         self.heartbeats_sent = 0
         # Staleness / duplicate defense (per daemon process lifetime).
@@ -217,12 +220,39 @@ class VnfDaemon:
         for session_id, role_name in signal.roles:
             config = self.session_configs.get(session_id, CodingConfig())
             self.vnf.configure_session(session_id, VnfRole(role_name), config)
+        self._stage_retunes(signal)
         for session_id, next_hop, skip in signal.shapes:
             self.vnf.set_hop_shape(session_id, next_hop, skip)
         if not self.function_running:
             # Starting the coding function takes ~376 ms; model it as an
             # initial pause of the packet path.
             self.vnf.scheduler.schedule(self.vnf_start_latency_s, self._function_started)
+
+    def _stage_retunes(self, signal: NcSettings) -> None:
+        """Stage a mid-session coding retune carried on NC_SETTINGS.
+
+        Targets the sessions named in ``session_ids`` (every configured
+        session when the list is empty), skipping any the same signal
+        just (re)configured through ``roles`` — those already start on
+        the new parameters.  The staged config goes through
+        :meth:`CodingVnf.retune_session`, so the data plane swaps it in
+        at the next generation boundary, never mid-block.
+        """
+        if signal.blocks_per_generation <= 0 and signal.redundancy_extra < 0:
+            return
+        fresh = {session_id for session_id, _ in signal.roles}
+        targets = signal.session_ids if signal.session_ids else tuple(self.vnf.configs)
+        for session_id in targets:
+            if session_id in fresh or session_id not in self.vnf.configs:
+                continue
+            config = self.vnf.configs[session_id]
+            if signal.blocks_per_generation > 0:
+                config = dataclasses.replace(config, blocks_per_generation=signal.blocks_per_generation)
+            if signal.redundancy_extra >= 0:
+                config = dataclasses.replace(config, redundancy=RedundancyPolicy(signal.redundancy_extra))
+            self.session_configs[session_id] = config
+            self.vnf.retune_session(session_id, config)
+            self.retunes_staged += 1
 
     def _function_started(self) -> None:
         if not self.alive:

@@ -15,6 +15,11 @@ calls) and one, NC_HEARTBEAT, travels the other way:
                           controller's failure detector counts misses
 ========================  ====================================================
 
+Beyond the paper's six, two grown signals ride the same bus:
+``NC_SHARD_LEASE`` (controller ↔ controller lease gossip, DESIGN.md
+§14) and ``NC_LINK_REPORT`` (receiver/VNF → adaptive controller link
+condition feedback, DESIGN.md §15).
+
 :class:`SignalBus` delivers signals with a configurable control-plane
 latency (controller → daemon RTTs are real in the paper's testbed) and
 keeps a full log for experiments to assert on.
@@ -130,6 +135,13 @@ class NcSettings(Signal):
 
     ``shapes`` carries the controller's output-shaping directives for
     merge points: ((session_id, next_hop, skip_arrivals), ...).
+
+    Mid-session retunes (DESIGN.md §15): the adaptive-redundancy
+    controller re-uses NC_SETTINGS as the carrier for per-session coding
+    retunes.  ``blocks_per_generation`` (0 = unchanged) and
+    ``redundancy_extra`` (−1 = unchanged) apply to sessions the daemon
+    has *already* configured, at the next generation boundary — a
+    retune never reshapes a generation that is mid-block on the wire.
     """
 
     session_ids: tuple[int, ...] = ()
@@ -140,6 +152,8 @@ class NcSettings(Signal):
     shapes: tuple[tuple[int, str, int], ...] = ()
     epoch: int = 0  # controller config epoch; stale settings are rejected
     fence: int = 0  # shard-lease generation; deposed-primary settings are rejected
+    blocks_per_generation: int = 0  # retune: new generation size (0 = keep)
+    redundancy_extra: int = -1      # retune: new extra coded packets (-1 = keep)
 
 
 @dataclass(frozen=True)
@@ -148,6 +162,36 @@ class NcHeartbeat(Signal):
 
     vnf_name: str = ""
     beat: int = 0
+
+
+@dataclass(frozen=True)
+class NcLinkReport(Signal):  # repro-lint: disable=RL004 — dispatched in repro.adapt.controller, not by daemons
+    """Reporter → adaptive controller: measured link conditions.
+
+    The feedback half of the adaptive-redundancy loop (DESIGN.md §15):
+    receivers and VNFs fold their per-generation loss / NACK /
+    corruption counters into one periodic, EWMA-smoothed report.  Like
+    every other config-plane signal it is safe under at-least-once
+    out-of-order delivery: ``report_epoch`` increases monotonically per
+    reporter, and the controller drops any report not newer than the
+    last one it accepted from that reporter, so a bus retry or a
+    delayed duplicate can never drag the smoothed estimate backwards.
+
+    ``loss_ewma`` is the reporter's smoothed loss estimate in [0, 1];
+    the window counters (``packets``/``generations``/``nacks``/
+    ``corrupt``) are the raw deltas behind it, reported so the
+    controller can weigh confidence (a report spanning two generations
+    says less than one spanning forty).
+    """
+
+    reporter: str = ""
+    session_id: int = 0
+    report_epoch: int = 0
+    loss_ewma: float = 0.0
+    packets: int = 0
+    generations: int = 0
+    nacks: int = 0
+    corrupt: int = 0
 
 
 @dataclass(frozen=True)

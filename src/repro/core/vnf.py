@@ -103,12 +103,17 @@ class CodingVnf(Node):
         self._decoders: dict[tuple[int, int], Decoder] = {}
         self._delivery: dict[int, Callable[[int, Generation], None]] = {}
 
+        # Staged mid-session coding retunes (DESIGN.md §15): applied at
+        # the next generation boundary, never to in-flight generations.
+        self._pending_retunes: dict[int, CodingConfig] = {}
+
         self._busy_until = 0.0
         self._paused_until = 0.0
         self._pause_queue: list[Datagram] = []
         self.processed_packets = 0
         self.emitted_packets = 0
         self.decoded_generations = 0
+        self.retunes_applied = 0
         # Dirty-wire containment counters (DESIGN.md §11).
         self.corrupt_dropped = 0
         self.duplicate_dropped = 0
@@ -129,8 +134,33 @@ class CodingVnf(Node):
         self.roles[session_id] = role
         self.configs[session_id] = config
         self.buffers[session_id] = GenerationBuffer(config.buffer_generations)
+        self._pending_retunes.pop(session_id, None)
         if deliver is not None:
             self._delivery[session_id] = deliver
+
+    def retune_session(self, session_id: int, config: CodingConfig) -> None:
+        """Stage a mid-session coding retune (adaptive redundancy, §15).
+
+        Per-generation recoder/decoder state is immutable once created
+        — its dimensions come from the packet headers of the generation
+        it serves — so the new config is *not* applied to in-flight
+        generations.  It takes effect the next time per-generation
+        state is built for a generation this node has not seen, which
+        is the generation-boundary guarantee the adaptive controller
+        and the mid-block retune tests rely on.  Staging twice before a
+        boundary keeps only the newest config.
+        """
+        if session_id not in self.configs:
+            raise KeyError(f"session {session_id} is not configured on {self.name}")
+        self._pending_retunes[session_id] = config
+
+    def _config_at_boundary(self, session_id: int) -> CodingConfig:
+        """Consume any staged retune; only call at a generation boundary."""
+        pending = self._pending_retunes.pop(session_id, None)
+        if pending is not None:
+            self.configs[session_id] = pending
+            self.retunes_applied += 1
+        return self.configs[session_id]
 
     def set_hop_shape(
         self, session_id: int, next_hop: str, skip_arrivals: int, emit_per_generation: int | None = None
@@ -198,6 +228,7 @@ class CodingVnf(Node):
         self.roles.pop(session_id, None)
         self.configs.pop(session_id, None)
         self.buffers.pop(session_id, None)
+        self._pending_retunes.pop(session_id, None)
         self._delivery.pop(session_id, None)
         self._payload_bytes.pop(session_id, None)
         for shape_key in [k for k in self._hop_shapes if k[0] == session_id]:
@@ -292,7 +323,6 @@ class CodingVnf(Node):
             self.send(hop, packet, payload_bytes, dst_port=NC_PORT)
 
     def _recode_and_forward(self, original: CodedPacket, payload_bytes: int) -> None:
-        config = self.configs[original.session_id]
         buffer = self.buffers[original.session_id]
         self._payload_bytes[original.session_id] = payload_bytes
         key = (original.session_id, original.generation_id)
@@ -305,6 +335,7 @@ class CodingVnf(Node):
             if not buffer.add(original.generation_id, original):
                 self.stale_dropped += 1
                 return
+            config = self._config_at_boundary(original.session_id)
             recoder = Recoder(
                 original.session_id,
                 original.generation_id,
@@ -344,10 +375,10 @@ class CodingVnf(Node):
                 self.send(hop, recoder.recode(), payload_bytes, dst_port=NC_PORT)
 
     def _decode(self, packet: CodedPacket) -> None:
-        config = self.configs[packet.session_id]
         key = (packet.session_id, packet.generation_id)
         decoder = self._decoders.get(key)
         if decoder is None:
+            config = self._config_at_boundary(packet.session_id)
             block_bytes = (
                 packet.payload.shape[0] if self.payload_mode == "coefficients-only" else config.block_bytes
             )

@@ -91,6 +91,21 @@ class BurstLoss(LossModel):
         # Stationary probability of the "dropped" state of the chain.
         return q / (1.0 - r + q) if (1.0 - r + q) > 0 else 1.0
 
+    def expected_loss(self) -> float:
+        """Exact stationary loss rate of the correlated model.
+
+        The two-state chain has ``P(drop|drop) = c + (1−c)·p`` and
+        ``P(drop|ok) = (1−c)·p``; its stationary drop probability is
+        ``q / (q + 1 − r)`` with ``q = (1−c)p`` and ``r = c + q``.
+        Since ``1 − r = (1−c)(1−p)``, the denominator collapses to
+        ``1 − c`` and the stationary rate is exactly ``p``: netem-style
+        correlation clusters drops into bursts but preserves the
+        marginal loss rate.  Scenario presets and the adaptive
+        controller's tests assert empirical drop fractions against this
+        closed form instead of a hand-tuned tolerance band.
+        """
+        return self.stationary_rate()
+
     def __repr__(self) -> str:
         return f"BurstLoss(p={self.p}, correlation={self.correlation})"
 

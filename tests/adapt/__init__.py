@@ -1,0 +1,1 @@
+"""Adaptive-redundancy loop tests (DESIGN.md §15)."""

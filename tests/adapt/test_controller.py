@@ -1,0 +1,236 @@
+"""Controller unit tests: AIMD moves, dedup, starvation, replan reset."""
+
+import dataclasses
+
+import pytest
+
+from repro.adapt import AdaptiveRedundancyController, AdaptPolicy, AdaptState
+from repro.core.session import CodingConfig
+from repro.core.signals import NcLinkReport, NcSettings, SignalBus
+from repro.rlnc.redundancy import RedundancyPolicy
+
+SESSION = 7
+POLICY = AdaptPolicy(
+    max_extra=4,
+    clean_windows=2,
+    clean_loss=0.02,
+    hostile_loss=0.08,
+    blocks_hostile=8,
+    blocks_clean=16,
+    report_timeout_s=1.0,
+)
+
+
+@pytest.fixture
+def loop(scheduler):
+    bus = SignalBus(scheduler, latency_s=0.01)
+    settings: list = []
+    bus.register("node1", lambda s: settings.append(s) if isinstance(s, NcSettings) else None)
+    applied: list = []
+    controller = AdaptiveRedundancyController(
+        bus,
+        scheduler,
+        SESSION,
+        CodingConfig(blocks_per_generation=16, redundancy=RedundancyPolicy(0)),
+        daemon_targets=("node1",),
+        apply_source=applied.append,
+        policy=POLICY,
+        fence=3,
+    )
+    return bus, controller, settings, applied
+
+
+def report(epoch, loss, nacks=0, reporter="dst", session_id=SESSION):
+    return NcLinkReport(
+        target="adapt",
+        reporter=reporter,
+        session_id=session_id,
+        report_epoch=epoch,
+        loss_ewma=loss,
+        packets=100,
+        generations=5,
+        nacks=nacks,
+    )
+
+
+def drive(bus, scheduler, *reports, gap_s=0.2):
+    for r in reports:
+        bus.send(r)
+        scheduler.run(until=scheduler.now + gap_s)
+
+
+class TestAimd:
+    def test_loss_raises_extra_additively(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.10), report(2, 0.10))
+        assert controller.config.redundancy.extra == 2  # +1 per report
+        assert controller.retunes_pushed == 2
+        assert [s.redundancy_extra for s in settings] == [1, 2]
+        assert [c.redundancy.extra for c in applied] == [1, 2]
+
+    def test_extra_clamped_at_ceiling(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, *[report(i, 0.5) for i in range(1, 12)])
+        assert controller.config.redundancy.extra == POLICY.max_extra
+        # Once clamped and sizes settled, no further retunes are pushed.
+        assert settings[-1].redundancy_extra == POLICY.max_extra
+        assert controller.retunes_pushed < 11
+
+    def test_clean_windows_halve_extra(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, *[report(i, 0.30) for i in range(1, 5)])
+        assert controller.config.redundancy.extra == 4
+        # clean_windows=2 consecutive clean reports trigger one halving.
+        drive(bus, scheduler, report(5, 0.0), report(6, 0.0))
+        assert controller.config.redundancy.extra == 2
+        drive(bus, scheduler, report(7, 0.0), report(8, 0.0))
+        assert controller.config.redundancy.extra == 1
+
+    def test_nacks_under_loss_count_as_pressure(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        # Modest loss that the current extra already covers numerically,
+        # but receivers still NACKing: keep raising.
+        drive(bus, scheduler, report(1, 0.04, nacks=3), report(2, 0.04, nacks=3))
+        assert controller.config.redundancy.extra >= 2
+
+    def test_generation_size_hysteresis(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.20))
+        assert controller.config.blocks_per_generation == POLICY.blocks_hostile
+        # Between the thresholds: size is kept (no thrash).
+        drive(bus, scheduler, report(2, 0.05))
+        assert controller.config.blocks_per_generation == POLICY.blocks_hostile
+        drive(bus, scheduler, report(3, 0.0))
+        assert controller.config.blocks_per_generation == POLICY.blocks_clean
+
+    def test_worst_reporter_dominates(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.25, reporter="dst-a"))
+        drive(bus, scheduler, report(1, 0.0, reporter="dst-b"))
+        # The clean receiver does not dilute the hostile one's estimate.
+        assert controller.loss_estimate == pytest.approx(0.25)
+
+
+class TestDedup:
+    def test_stale_epoch_dropped(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(2, 0.10))
+        accepted = controller.reports_accepted
+        drive(bus, scheduler, report(2, 0.50), report(1, 0.50))
+        assert controller.reports_accepted == accepted
+        assert controller.reports_stale == 2
+        assert controller.loss_estimate == pytest.approx(0.10)
+
+    def test_epochs_tracked_per_reporter(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(3, 0.1, reporter="dst-a"))
+        drive(bus, scheduler, report(1, 0.2, reporter="dst-b"))  # own clock
+        assert controller.reports_accepted == 2
+
+    def test_other_sessions_ignored(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.4, session_id=SESSION + 1))
+        assert controller.reports_accepted == 0
+        assert controller.retunes_pushed == 0
+
+
+class TestSettingsStamping:
+    def test_retunes_carry_fresh_fence_and_epoch(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.10), report(2, 0.10))
+        assert all(s.fence == 3 for s in settings)
+        epochs = [s.epoch for s in settings]
+        assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+        assert all(s.session_ids == (SESSION,) for s in settings)
+        assert all(not s.roles for s in settings)  # retune, not config
+
+
+class TestStarvation:
+    def test_silence_enters_adapt_stalled_and_restores_static(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.30), report(2, 0.30))
+        hostile = controller.config
+        assert hostile != controller.static_config
+        # No reports for > report_timeout_s: typed fallback, not a hang.
+        scheduler.run(until=scheduler.now + 3 * POLICY.report_timeout_s)
+        assert controller.state is AdaptState.ADAPT_STALLED
+        assert controller.stall_entries == 1
+        assert controller.config == controller.static_config
+        assert applied[-1] == controller.static_config  # source reverted too
+
+    def test_fresh_report_reenters_tracking(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.30))
+        scheduler.run(until=scheduler.now + 3 * POLICY.report_timeout_s)
+        assert controller.state is AdaptState.ADAPT_STALLED
+        drive(bus, scheduler, report(2, 0.30))
+        assert controller.state is AdaptState.TRACKING
+        states = [s for _, s in controller.transitions]
+        assert states == [AdaptState.TRACKING, AdaptState.ADAPT_STALLED, AdaptState.TRACKING]
+
+    def test_steady_reports_never_stall(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        for i in range(1, 10):
+            drive(bus, scheduler, report(i, 0.05), gap_s=POLICY.report_timeout_s / 2)
+        assert controller.stall_entries == 0
+        assert controller.state is AdaptState.TRACKING
+
+
+class TestReplan:
+    def test_replan_resets_to_static_under_new_stamp(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.30), report(2, 0.30))
+        controller.on_replan(fence=9, epoch=50)
+        assert controller.config == controller.static_config
+        assert controller.loss_estimate == 0.0
+        assert controller.fence == 9 and controller.epoch >= 50
+        # Reporter dedup must survive the replan: the reporters did not
+        # restart, so their old epochs stay used-up.
+        drive(bus, scheduler, report(2, 0.40))
+        assert controller.reports_stale == 1
+        drive(bus, scheduler, report(3, 0.40))
+        assert settings[-1].fence == 9
+        assert settings[-1].epoch > 50
+
+    def test_replan_restarts_starvation_clock(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        drive(bus, scheduler, report(1, 0.30))
+        scheduler.run(until=scheduler.now + 3 * POLICY.report_timeout_s)
+        assert controller.state is AdaptState.ADAPT_STALLED
+        controller.on_replan()
+        assert controller.state is AdaptState.TRACKING
+        # The fresh clock holds for a while before stalling again.
+        scheduler.run(until=scheduler.now + POLICY.report_timeout_s / 2)
+        assert controller.state is AdaptState.TRACKING
+
+
+class TestStop:
+    def test_stop_unregisters_and_ignores_late_reports(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        controller.stop()
+        assert controller.state is AdaptState.STOPPED
+        bus.send(report(1, 0.5))
+        scheduler.run(until=scheduler.now + 2.0)
+        assert controller.reports_accepted == 0
+        assert controller.retunes_pushed == 0
+        controller.stop()  # idempotent
+
+
+class TestPolicyValidation:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptPolicy(min_extra=5, max_extra=2)
+        with pytest.raises(ValueError):
+            AdaptPolicy(clean_loss=0.5, hostile_loss=0.1)
+        with pytest.raises(ValueError):
+            AdaptPolicy(decrease_factor=1.0)
+        with pytest.raises(ValueError):
+            AdaptPolicy(report_timeout_s=0.0)
+
+
+class TestStaticBaselineIsUntouched:
+    def test_static_config_object_never_mutates(self, loop, scheduler):
+        bus, controller, settings, applied = loop
+        baseline = dataclasses.replace(controller.static_config)
+        drive(bus, scheduler, *[report(i, 0.4) for i in range(1, 8)])
+        assert controller.static_config == baseline

@@ -1,0 +1,132 @@
+"""Reporter unit tests: EWMA, idle windows, crash/restart, epochs."""
+
+import pytest
+
+from repro.adapt import LinkReporter, LinkSample
+from repro.core.signals import NcLinkReport, SignalBus
+
+
+class Counters:
+    """A scriptable measurement point."""
+
+    def __init__(self):
+        self.sample = LinkSample()
+
+    def advance(self, packets=0, expected=0, generations=0, nacks=0, corrupt=0):
+        s = self.sample
+        self.sample = LinkSample(
+            packets=s.packets + packets,
+            expected=s.expected + expected,
+            generations=s.generations + generations,
+            nacks=s.nacks + nacks,
+            corrupt=s.corrupt + corrupt,
+        )
+
+    def probe(self):
+        return self.sample
+
+
+@pytest.fixture
+def rig(scheduler):
+    bus = SignalBus(scheduler, latency_s=0.01)
+    received: list = []
+    bus.register("adapt", received.append)
+    counters = Counters()
+    reporter = LinkReporter("dst", 7, bus, scheduler, counters.probe, interval_s=0.5)
+    return bus, counters, reporter, received
+
+
+class TestReporting:
+    def test_reports_window_deltas(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        counters.advance(packets=18, expected=20, generations=2, nacks=1)
+        scheduler.run(until=0.6)
+        (r,) = received
+        assert isinstance(r, NcLinkReport)
+        assert (r.packets, r.generations, r.nacks) == (18, 2, 1)
+        assert r.loss_ewma == pytest.approx(0.3 * (1 - 18 / 20))
+        assert r.session_id == 7 and r.reporter == "dst"
+
+    def test_ewma_smooths_across_windows(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        counters.advance(packets=10, expected=20)  # 50% window loss
+        scheduler.run(until=0.6)
+        counters.advance(packets=20, expected=20)  # clean window
+        scheduler.run(until=1.1)
+        first, second = (r.loss_ewma for r in received)
+        assert first == pytest.approx(0.15)
+        assert second == pytest.approx(0.15 * 0.7)  # decays, not resets
+
+    def test_idle_windows_still_report(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        scheduler.run(until=1.6)  # three windows, zero traffic
+        assert len(received) == 3
+        assert all(r.packets == 0 for r in received)
+        # Silence must mean reporter failure, never a quiet link.
+
+    def test_report_epochs_strictly_increase(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        scheduler.run(until=2.1)
+        epochs = [r.report_epoch for r in received]
+        assert epochs == sorted(set(epochs))
+        assert epochs[0] >= 1
+
+
+class TestCrashRestart:
+    def test_kill_silences_restart_resumes(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        scheduler.run(until=0.6)
+        reporter.kill()
+        scheduler.run(until=2.1)
+        assert len(received) == 1  # nothing during the outage
+        reporter.restart()
+        scheduler.run(until=2.6)
+        assert len(received) == 2
+        assert reporter.restarts == 1
+
+    def test_restart_epochs_stay_monotone(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        scheduler.run(until=0.6)
+        before = received[-1].report_epoch
+        reporter.kill()
+        scheduler.run(until=1.6)
+        reporter.restart()
+        scheduler.run(until=2.1)
+        # The journaled epoch counter survives the crash: the first
+        # post-restart report is strictly newer, so controller dedup
+        # never permanently starves the restarted reporter.
+        assert received[-1].report_epoch > before
+
+    def test_restart_resets_loss_baseline(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        counters.advance(packets=0, expected=20)  # total loss window
+        scheduler.run(until=0.6)
+        assert reporter.loss_ewma > 0
+        reporter.kill()
+        counters.advance(packets=100, expected=100)  # unseen during outage
+        reporter.restart()
+        assert reporter.loss_ewma == 0.0
+        scheduler.run(until=1.1)
+        # The outage window is not retroactively reported: the restart
+        # re-baselined, so the 100 unseen packets don't skew the rate.
+        assert received[-1].packets == 0
+
+    def test_restart_when_alive_is_a_noop(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        reporter.restart()
+        assert reporter.restarts == 0
+
+    def test_stop_cancels_the_timer(self, rig, scheduler):
+        bus, counters, reporter, received = rig
+        reporter.stop()
+        scheduler.run(until=3.0)
+        assert received == []
+
+
+class TestValidation:
+    def test_bad_interval_and_alpha_rejected(self, scheduler):
+        bus = SignalBus(scheduler, latency_s=0.01)
+        with pytest.raises(ValueError):
+            LinkReporter("dst", 1, bus, scheduler, LinkSample, interval_s=0.0)
+        with pytest.raises(ValueError):
+            LinkReporter("dst", 1, bus, scheduler, LinkSample, ewma_alpha=0.0)

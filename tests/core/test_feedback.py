@@ -128,6 +128,95 @@ class TestRetryCapAndBackoff:
             NcReceiverApp(topo.get("dst"), make_session(), nack_backoff=0.5)
 
 
+class TestNackRankDedup:
+    """A pending retry whose generation gained rank must not re-fire.
+
+    When the adaptive controller raises redundancy, repair-equivalent
+    coded packets arrive that the in-flight backoff timer knows nothing
+    about; re-requesting repair for dof the new packets already covered
+    wastes source repair budget.  The dedupe keys on (generation, rank):
+    rank progress since the last NACK suppresses the retry and restarts
+    the backoff clock instead of spending the retry budget.
+    """
+
+    def _receiver(self, topo, session):
+        return NcReceiverApp(
+            topo.get("dst"), session, payload_mode="coefficients-only", ack_to="src",
+            stall_generations=2, stall_timeout_s=0.05,
+            nack_retry_s=0.2, nack_backoff=2.0, nack_retry_max_s=5.0,
+            max_nacks_per_generation=4, ack_interval_s=0.01,
+        )
+
+    def _feeder(self, topo, session, rng):
+        """A persistent encoder: later packets keep advancing the rank.
+
+        (A fresh ``feed_packets`` encoder would restart from the
+        systematic prefix and replay pivots the decoder already has.)
+        """
+        k = session.coding.blocks_per_generation
+        data = rng.integers(0, 256, size=(k, 4), dtype=np.uint8)
+        encoder = Encoder(
+            session.session_id,
+            Generation(generation_id=0, blocks=data),
+            field=session.coding.galois_field,
+            rng=rng,
+        )
+
+        def feed(count):
+            for _ in range(count):
+                topo.get("src").send("dst", encoder.next_packet(), 64, dst_port=NC_PORT)
+
+        return feed
+
+    def test_rank_progress_suppresses_retry(self, rng):
+        topo, control_log = two_node_topology(rng)
+        session = make_session()
+        receiver = self._receiver(topo, session)
+        feed = self._feeder(topo, session, rng)
+        k = session.coding.blocks_per_generation
+        feed(k - 2)  # two dof short
+        topo.run(until=0.1)  # past the stall timeout: first NACK out
+        assert receiver.nacks_sent == 1
+        # One more dof lands (a redundancy packet the retune bought)
+        # before the 0.2 s retry clock fires.
+        feed(1)
+        topo.run(until=0.55)
+        # The retry due at ~0.26 was suppressed (rank moved), and the
+        # clock restarted: the next real NACK fires ~0.2 s later.
+        assert receiver.nacks_suppressed == 1
+        nacks = [m for _, m in control_log if m[0] == "nack"]
+        assert len(nacks) == 2
+        assert nacks[-1][3] == 1  # still one dof short after the progress
+
+    def test_stagnant_rank_still_retries(self, rng):
+        topo, control_log = two_node_topology(rng)
+        session = make_session()
+        receiver = self._receiver(topo, session)
+        feed_packets(topo, receiver, session, 0, session.coding.blocks_per_generation - 1, rng)
+        topo.run(until=0.45)  # no progress between NACKs
+        assert receiver.nacks_suppressed == 0
+        assert len([m for _, m in control_log if m[0] == "nack"]) == 2
+
+    def test_suppression_does_not_spend_retry_budget(self, rng):
+        topo, control_log = two_node_topology(rng)
+        session = make_session()
+        receiver = self._receiver(topo, session)
+        feed = self._feeder(topo, session, rng)
+        k = session.coding.blocks_per_generation
+        feed(k - 3)
+        topo.run(until=0.1)
+        # Two separate progress events, each suppressing one retry.
+        feed(1)
+        topo.run(until=0.45)
+        feed(1)
+        topo.run(until=10.0)  # exhaust the whole backoff schedule
+        nacks = [m for _, m in control_log if m[0] == "nack"]
+        # The cap still allows max_nacks_per_generation real NACKs:
+        # suppressed retries restarted the clock without spending it.
+        assert receiver.nacks_suppressed == 2
+        assert len(nacks) == 4
+
+
 class TestRetargetAcks:
     def test_acks_move_to_the_new_hop(self, rng):
         topo = Topology(rng=rng)

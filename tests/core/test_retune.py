@@ -1,0 +1,215 @@
+"""Mid-session retune semantics: generation boundaries only, never mid-block.
+
+The adaptive controller (DESIGN.md §15) retunes generation size and
+redundancy while packets are in flight.  A generation is an algebraic
+unit — its decoder dimensions are fixed by the headers that opened it —
+so a retune must never touch per-generation coding state that already
+exists.  These tests pin the staging contract at all three application
+points: the VNF data plane (:meth:`CodingVnf.retune_session`), the
+daemon's ``NC_SETTINGS`` path (:meth:`VnfDaemon._stage_retunes` via the
+bus), and the source application (:meth:`NcSourceApp.retune_coding`).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps.file_transfer import NcReceiverApp, NcSourceApp
+from repro.core.daemon import VnfDaemon
+from repro.core.forwarding import ForwardingTable
+from repro.core.session import CodingConfig, MulticastSession
+from repro.core.signals import NcSettings, SignalBus
+from repro.core.vnf import NC_PORT, CodingVnf, VnfRole
+from repro.net import LinkSpec, Topology
+from repro.rlnc import Encoder, Generation
+from repro.rlnc.redundancy import RedundancyPolicy
+
+
+def make_chain(rng):
+    """src host -> recoding vnf -> dst host."""
+    topo = Topology(rng=rng)
+    topo.add_node("src")
+    vnf = CodingVnf("vnf", topo.scheduler, rng=rng)
+    topo.add_node(vnf)
+    topo.add_node("dst")
+    for a, b in (("src", "vnf"), ("vnf", "dst")):
+        topo.add_link(LinkSpec(a, b, 100.0, 1.0))
+    vnf.forwarding_table = ForwardingTable({1: ["dst"]})
+    return topo, vnf
+
+
+def feed(topo, rng, config, generation_id, count, k=None):
+    k = k if k is not None else config.blocks_per_generation
+    gen = Generation(generation_id, rng.integers(0, 256, (k, config.block_bytes), dtype=np.uint8))
+    enc = Encoder(1, gen, rng=rng)
+    for _ in range(count):
+        topo.get("src").send("vnf", enc.next_packet(), 64, dst_port=NC_PORT)
+
+
+class TestVnfBoundaryRetune:
+    def test_retune_defers_until_new_generation(self, rng):
+        topo, vnf = make_chain(rng)
+        old = CodingConfig(block_bytes=32, blocks_per_generation=4)
+        vnf.configure_session(1, VnfRole.RECODER, old)
+        # Open generation 0 mid-flight...
+        feed(topo, rng, old, 0, 2)
+        topo.run()
+        new = dataclasses.replace(old, blocks_per_generation=8, redundancy=RedundancyPolicy(2))
+        vnf.retune_session(1, new)
+        # ...the staged retune must not touch the live config while
+        # generation 0's recoder state exists and keeps absorbing.
+        assert vnf.configs[1] == old
+        assert vnf.retunes_applied == 0
+        feed(topo, rng, old, 0, 2)
+        topo.run()
+        assert vnf.configs[1] == old  # same generation: still pending
+        # The first packet of an unseen generation crosses the boundary.
+        feed(topo, rng, new, 1, 1, k=8)
+        topo.run()
+        assert vnf.configs[1] == new
+        assert vnf.retunes_applied == 1
+
+    def test_later_retune_wins(self, rng):
+        topo, vnf = make_chain(rng)
+        old = CodingConfig(block_bytes=32, blocks_per_generation=4)
+        vnf.configure_session(1, VnfRole.RECODER, old)
+        vnf.retune_session(1, dataclasses.replace(old, blocks_per_generation=8))
+        final = dataclasses.replace(old, blocks_per_generation=16)
+        vnf.retune_session(1, final)  # supersedes the first staging
+        feed(topo, rng, old, 0, 1)
+        topo.run()
+        assert vnf.configs[1] == final
+        assert vnf.retunes_applied == 1
+
+    def test_unknown_session_rejected(self, rng):
+        topo, vnf = make_chain(rng)
+        with pytest.raises(KeyError):
+            vnf.retune_session(7, CodingConfig())
+
+    def test_drop_session_clears_pending(self, rng):
+        topo, vnf = make_chain(rng)
+        old = CodingConfig(block_bytes=32, blocks_per_generation=4)
+        vnf.configure_session(1, VnfRole.RECODER, old)
+        vnf.retune_session(1, dataclasses.replace(old, blocks_per_generation=8))
+        vnf.drop_session(1)
+        vnf.configure_session(1, VnfRole.RECODER, old)
+        feed(topo, rng, old, 0, 1)
+        topo.run()
+        # The dropped session's staging must not leak into the re-add.
+        assert vnf.configs[1] == old
+        assert vnf.retunes_applied == 0
+
+
+class TestDaemonStageRetunes:
+    @pytest.fixture
+    def setup(self, scheduler, rng):
+        bus = SignalBus(scheduler, latency_s=0.01)
+        vnf = CodingVnf("node1", scheduler, rng=rng)
+        daemon = VnfDaemon(vnf, bus)
+        bus.send(NcSettings(target="node1", roles=((1, "recoder"), (2, "recoder"))))
+        scheduler.run()
+        return bus, vnf, daemon
+
+    def test_settings_retune_stages_on_existing_sessions(self, setup, scheduler):
+        bus, vnf, daemon = setup
+        bus.send(
+            NcSettings(
+                target="node1", session_ids=(1,), blocks_per_generation=8, redundancy_extra=3
+            )
+        )
+        scheduler.run()
+        assert daemon.retunes_staged == 1
+        # Staged, not applied: the data plane waits for the boundary.
+        assert vnf.configs[1].blocks_per_generation != 8 or vnf.retunes_applied == 1
+        pending = vnf._pending_retunes[1]
+        assert pending.blocks_per_generation == 8
+        assert pending.redundancy.extra == 3
+        assert 2 not in vnf._pending_retunes  # only the addressed session
+        # The daemon's own config mirror tracks the retune for re-push.
+        assert daemon.session_configs[1].blocks_per_generation == 8
+
+    def test_retune_without_session_ids_targets_all(self, setup, scheduler):
+        bus, vnf, daemon = setup
+        bus.send(NcSettings(target="node1", redundancy_extra=2))
+        scheduler.run()
+        assert daemon.retunes_staged == 2
+        assert vnf._pending_retunes[1].redundancy.extra == 2
+        assert vnf._pending_retunes[2].redundancy.extra == 2
+        # Only the redundancy changed; generation size was untouched.
+        assert vnf._pending_retunes[1].blocks_per_generation == vnf.configs[1].blocks_per_generation
+
+    def test_freshly_configured_sessions_skip_retune(self, setup, scheduler):
+        bus, vnf, daemon = setup
+        # One signal both configures session 3 and retunes: the fresh
+        # role already carries its full config, so no staging for it.
+        bus.send(
+            NcSettings(target="node1", roles=((3, "recoder"),), blocks_per_generation=8)
+        )
+        scheduler.run()
+        assert 3 not in vnf._pending_retunes
+        assert daemon.retunes_staged == 2  # the two pre-existing sessions
+
+    def test_plain_settings_stage_nothing(self, setup, scheduler):
+        bus, vnf, daemon = setup
+        bus.send(NcSettings(target="node1", session_ids=(1,)))
+        scheduler.run()
+        assert daemon.retunes_staged == 0
+        assert not vnf._pending_retunes
+
+
+class TestSourceRetune:
+    def _transfer(self, rng):
+        topo = Topology(rng=rng)
+        topo.add_node("src")
+        topo.add_node("dst")
+        topo.add_link(LinkSpec("src", "dst", 100.0, 1.0))
+        topo.add_link(LinkSpec("dst", "src", 100.0, 1.0))
+        config = CodingConfig(block_bytes=64, blocks_per_generation=4)
+        session = MulticastSession(source="src", receivers=["dst"], coding=config)
+        receiver = NcReceiverApp(
+            topo.get("dst"), session, payload_mode="coefficients-only", ack_to="src"
+        )
+        source = NcSourceApp(
+            topo.get("src"),
+            session,
+            link_shares={"dst": 10.0},
+            data_rate_mbps=10.0,
+            payload_mode="coefficients-only",
+            rng=rng,
+        )
+        return topo, session, source, receiver
+
+    def test_retune_applies_at_next_generation(self, rng):
+        topo, session, source, receiver = self._transfer(rng)
+        source.start()
+        topo.run(until=0.05)
+        assert source.sent_generations >= 1
+        seen_before = source.sent_generations
+        new = dataclasses.replace(session.coding, blocks_per_generation=8)
+        source.retune_coding(new, link_shares={"dst": 20.0})
+        assert session.coding.blocks_per_generation == 4  # staged only
+        topo.run(until=1.0)
+        assert source.coding_retunes == 1
+        assert session.coding.blocks_per_generation == 8
+        # Every generation decodes at the size it was emitted with —
+        # boundary application means one clean cutover generation, with
+        # every earlier generation at the old k and every later one at
+        # the new k (no generation ever mixes sizes).
+        sizes = [receiver.completed_bytes[g] for g in sorted(receiver.completed_bytes)]
+        assert set(sizes) == {4 * 64, 8 * 64}
+        cutover = sizes.index(8 * 64)
+        assert all(s == 4 * 64 for s in sizes[:cutover])
+        assert all(s == 8 * 64 for s in sizes[cutover:])
+        assert cutover >= seen_before  # never before the staging point
+
+    def test_completed_bytes_track_the_emitting_config(self, rng):
+        topo, session, source, receiver = self._transfer(rng)
+        source.start()
+        topo.run(until=0.05)
+        new = dataclasses.replace(session.coding, blocks_per_generation=8)
+        source.retune_coding(new)
+        topo.run(until=1.0)
+        sizes = set(receiver.completed_bytes.values())
+        # Both generation sizes completed, each credited at its own k.
+        assert 4 * 64 in sizes and 8 * 64 in sizes

@@ -420,3 +420,69 @@ class TestButterflyUnderFaults:
         assert r.detected_at is None  # two misses < threshold of three
         for name in r.receivers:
             assert r.decoded_after[name] > 0
+
+
+class TestCrashDuringRetune:
+    """The adaptive-loop cell: a retune NC_SETTINGS meets a crash.
+
+    The adaptive controller (DESIGN.md §15) streams mid-session retunes
+    at the relay daemons.  This cell kills the daemon while retunes are
+    in flight (and, in the drop variant, eats one on the wire) and holds
+    the loop to the matrix contract: typed records for every lost
+    signal, staged-only application at generation boundaries, and a run
+    that still ends complete-or-degraded-typed.
+    """
+
+    def _run(self, plan):
+        from repro.adapt.soak import classify
+        from repro.experiments.scenarios import GEO_SATELLITE, run_scenario
+
+        result = run_scenario(
+            GEO_SATELLITE, mode="adaptive", loss=0.2, duration_s=6.0, seed=2, plan=plan
+        )
+        return result, classify(result)
+
+    def test_daemon_crash_mid_retune_leaves_typed_records(self):
+        # Kill the relay daemon inside the retune flurry (reports start
+        # arriving ~0.5 s in); revive it a second later.
+        plan = FaultPlan([
+            FaultEvent(0.9, FaultKind.DAEMON_KILL, "geo-sat"),
+            FaultEvent(1.9, FaultKind.DAEMON_RESTART, "geo-sat"),
+        ])
+        result, outcome = self._run(plan)
+        daemon = result.daemons["geo-sat"]
+        assert daemon.restarts == 1 and daemon.alive
+        # The controller kept pushing; whatever hit the dead daemon is
+        # recorded, never silently gone.
+        assert result.retunes_pushed > 0
+        # (Signals sent just before the horizon may legally still be in
+        # flight; anything with time to resolve must have.)
+        assert all(
+            r.status in ("delivered", "dropped", "undeliverable")
+            for r in result.bus.log
+            if r.sent_at < 4.0
+        )
+        lost = result.bus.undeliverable_of_kind("NcSettings")
+        assert lost or daemon.retunes_staged > 0  # missed-or-staged, typed either way
+        # Post-restart retunes land again and the data plane still only
+        # applies them at generation boundaries (no mid-block reshape).
+        assert result.retunes_applied <= result.retunes_pushed
+        assert outcome.outcome in ("completed", "degraded-typed")
+        assert outcome.typed
+
+    def test_dropped_retune_is_recorded_and_superseded(self):
+        plan = FaultPlan([FaultEvent(0.9, FaultKind.SIGNAL_DROP, "NcSettings")])
+        result, outcome = self._run(plan)
+        # Exactly one retune was eaten, with a typed record.
+        dropped = [r for r in result.bus.dropped if r.signal.kind == "NcSettings"]
+        assert len(dropped) == 1
+        # The loop's later retunes carry higher epochs, so the lost one
+        # is superseded rather than resurrected: the daemon's mirror
+        # ends at the controller's final config.
+        daemon = result.daemons["geo-sat"]
+        assert result.retunes_pushed > 1
+        controller = result.controller
+        final = daemon.session_configs[result.source.session.session_id]
+        assert final.blocks_per_generation == controller.config.blocks_per_generation
+        assert final.redundancy.extra == controller.config.redundancy.extra
+        assert outcome.outcome in ("completed", "degraded-typed")

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.net.loss import BurstLoss, CompositeLoss, LiteralRecursionLoss, NoLoss, UniformLoss
 
@@ -65,6 +67,32 @@ class TestBurstLoss:
 
     def test_zero_p_zero_drops(self, rng):
         assert not drop_series(BurstLoss(p=0.0), rng, 1000).any()
+
+    def test_expected_loss_equals_marginal_rate(self):
+        # The two-state chain's stationary rate collapses to p exactly,
+        # independent of the correlation (the analytic identity the
+        # adaptive controller's TCP comparison leans on).
+        for p in (0.0, 0.05, 0.3, 0.9):
+            for c in (0.0, 0.25, 0.6, 0.95):
+                assert BurstLoss(p, c).expected_loss() == pytest.approx(p)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p=st.floats(min_value=0.02, max_value=0.5),
+        correlation=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_expected_loss_matches_empirical_rate(self, p, correlation, seed):
+        # Property: across the whole (p, correlation) plane the analytic
+        # expectation predicts the empirical drop rate of the sampler.
+        model = BurstLoss(p=p, correlation=correlation)
+        rng = np.random.default_rng(seed)
+        drops = drop_series(model, rng, 30000)
+        # Correlated drops have a larger effective variance than i.i.d.
+        # ones: var ≈ p(1-p)(1+c)/(1-c) per sample.  Five sigmas keeps
+        # the property sound across the sampled plane.
+        sigma = np.sqrt(p * (1 - p) * (1 + correlation) / (1 - correlation) / 30000)
+        assert abs(drops.mean() - model.expected_loss()) < 5 * sigma + 1e-3
 
 
 class TestLiteralRecursion:
